@@ -1,0 +1,16 @@
+"""Ablation (beyond the paper): CopyCat quality vs non-Clifford budget."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_ablation_budget(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "ablation_budget", context=context, budgets=(0, 1, 2, 4), exact=True
+        ),
+    )
+    emit(result)
+    assert len(result.rows) == 4

@@ -1,0 +1,21 @@
+"""Ablation (beyond the paper): link visit order of the localized search."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_ablation_order(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "ablation_order",
+            context=context,
+            benchmarks=("GHZ_n4", "QEC_n4", "lin_sol_n3"),
+            trials=3,
+            probe_shots=1024,
+            final_shots=2048,
+        ),
+    )
+    emit(result)
+    assert len(result.rows) == 3

@@ -1,0 +1,19 @@
+"""Ablation (beyond the paper): ANGEL quality vs probe shot budget."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_ablation_shots(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "ablation_shots",
+            context=context,
+            shot_budgets=(64, 256, 1024, 4096),
+            final_shots=4096,
+        ),
+    )
+    emit(result)
+    assert len(result.rows) == 4

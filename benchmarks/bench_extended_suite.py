@@ -1,0 +1,30 @@
+"""Beyond the paper: the Fig. 18 evaluation on the extra workloads.
+
+Runs the headline three-policy comparison on the non-Table-I programs
+(W state, QFT, Fredkin, full adder) to check ANGEL generalizes past the
+paper's suite.
+"""
+
+from repro.experiments import run_experiment
+from repro.metrics import geometric_mean
+
+from conftest import emit, run_once
+
+
+def bench_extended_suite(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "fig18",
+            context=context,
+            benchmarks=("W_n4", "QFT_n3", "fredkin_n3", "adder_n4"),
+            final_shots=4096,
+            probe_shots=1024,
+            runtime_best_shots=512,
+        ),
+    )
+    emit(result)
+    assert len(result.rows) == 4
+    ratios = [row[3] for row in result.rows]
+    # ANGEL should not lose on average on unseen workloads.
+    assert geometric_mean(ratios) > 0.95

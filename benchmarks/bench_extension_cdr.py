@@ -1,0 +1,27 @@
+"""Extension (paper Section VII-B future work): ANGEL x CDR composition."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_extension_cdr(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "extension_cdr",
+            context=context,
+            num_training=12,
+            training_shots=1024,
+            target_shots=4096,
+        ),
+    )
+    emit(result)
+    by_label = {row[0]: row for row in result.rows}
+    raw_errors = [by_label[l][4] for l in ("baseline", "ANGEL")]
+    cdr_errors = [by_label[l][5] for l in ("baseline", "ANGEL")]
+    # CDR's linear extrapolation is itself shot-noise limited, so judge
+    # it in aggregate: the mitigated errors must stay bounded and at
+    # least one configuration must improve on its raw error.
+    assert max(cdr_errors) < 0.3
+    assert any(c < r for c, r in zip(cdr_errors, raw_errors))

@@ -1,0 +1,25 @@
+"""Extension (paper Section VI-E limitation 1): multi-pass search."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_extension_passes(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "extension_passes",
+            context=context,
+            benchmarks=("GHZ_n4", "QEC_n4", "toff_n3"),
+            passes=(1, 2, 3),
+            probe_shots=1024,
+            final_shots=2048,
+        ),
+    )
+    emit(result)
+    assert len(result.rows) == 9
+    # Probe budget grows with passes but stays linear in links.
+    for name in ("GHZ_n4", "QEC_n4", "toff_n3"):
+        budgets = [row[2] for row in result.rows if row[0] == name]
+        assert budgets == sorted(budgets)

@@ -1,0 +1,15 @@
+"""Fig. 1(c): RX(pi)+CNOT micro-benchmark, SR per native gate."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig1c(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig1c", context=context, shots=2048),
+    )
+    emit(result)
+    assert len(result.rows) == 3
+    assert all(0.0 <= row[1] <= 1.0 for row in result.rows)

@@ -1,0 +1,17 @@
+"""Fig. 5: micro-benchmark SR vs prepared state, per native gate."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig5(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig5", context=context, shots=2048),
+    )
+    emit(result)
+    assert len(result.rows) == 5
+    # Paper shape: SR varies with theta for every gate.
+    for gate, series in result.series.items():
+        assert max(series) - min(series) > 0.0, gate

@@ -1,0 +1,22 @@
+"""Fig. 6: micro-benchmark SR distribution across every device link.
+
+The paper ran 1460 circuits on Aspen-M-1's 103 links; here the full
+Aspen-11 link set is characterized with exact noisy distributions.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig6(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig6", context=context, exact=True),
+    )
+    emit(result)
+    stats = {r[0]: r[1] for r in result.rows}
+    # Paper shape: most links have a state-dependent winner, a few have
+    # a single always-best gate.
+    assert stats["links with state-dependent winner"] > 0
+    assert stats["circuits run"] > 500

@@ -1,0 +1,16 @@
+"""Fig. 7: micro-benchmark winners across two calibration cycles."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig7(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "fig7", context=context, shots=2048, cycle_gap_hours=24.0
+        ),
+    )
+    emit(result)
+    assert len(result.rows) == 5

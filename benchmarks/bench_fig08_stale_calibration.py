@@ -1,0 +1,20 @@
+"""Fig. 8: true vs calibration-reported error rates over two days."""
+
+from repro.experiments import ExperimentContext, run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig8(benchmark):
+    # Fig. 8 starts right after a full calibration (no pre-aging).
+    context = ExperimentContext.create(seed=23, drift_hours=0.0)
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig8", context=context, hours=48.0),
+    )
+    emit(result)
+    # Paper shape: reported error plateaus while true error moves.
+    for row in result.rows:
+        gate, _range, plateau_steps, total_steps, divergence = row
+        assert plateau_steps > 0, f"{gate} never plateaued"
+        assert divergence > 0, f"{gate} reported == true throughout"

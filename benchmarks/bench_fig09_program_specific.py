@@ -1,0 +1,15 @@
+"""Fig. 9: GHZ_n4 vs VQE_n4 — the optimal combination is program-specific."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig9(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig9", context=context, shots=1024),
+    )
+    emit(result)
+    assert len(result.rows) == 2
+    assert len(result.series["ghz_srs"]) == 27

@@ -1,0 +1,20 @@
+"""Fig. 12: Clifford replacement choice decides CopyCat imitation quality.
+
+Paper shape: Z/S CopyCats correlate strongly with the program
+(SCC ~0.87-0.89), the X CopyCat poorly (SCC ~0.13).
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig12(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig12", context=context, exact=True),
+    )
+    emit(result)
+    sccs = {row[0]: row[1] for row in result.rows}
+    assert sccs["nearest-Clifford CopyCat"] > sccs["X CopyCat"]
+    assert max(sccs["Z CopyCat"], sccs["S CopyCat"]) > sccs["X CopyCat"]

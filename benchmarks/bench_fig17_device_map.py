@@ -1,0 +1,14 @@
+"""Fig. 17: device topology and calibrated fidelity/readout map."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig17(benchmark, context):
+    result = run_once(
+        benchmark, lambda: run_experiment("fig17", context=context)
+    )
+    emit(result)
+    assert len(result.rows) == context.device.topology.num_links
+    assert len(result.series["readout_fidelity"]) == 38

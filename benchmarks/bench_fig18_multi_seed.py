@@ -1,0 +1,23 @@
+"""Fig. 18 across independent chip days (robustness beyond the paper)."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig18_multi(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "fig18_multi",
+            seeds=(11, 23, 47),
+            final_shots=2048,
+            probe_shots=512,
+            runtime_best_shots=512,
+        ),
+    )
+    emit(result)
+    pooled = [row for row in result.rows if row[0] == "pooled"][0]
+    # Paper: 1.40x average on its single machine/window.
+    assert pooled[2] > 1.1, f"pooled ANGEL geomean too small: {pooled[2]}"
+    assert pooled[4] >= pooled[2] - 0.08  # oracle ~at or above ANGEL

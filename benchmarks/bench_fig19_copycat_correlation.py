@@ -1,0 +1,19 @@
+"""Fig. 19: program vs CopyCat SR correlation across all 81 sequences.
+
+Paper shape: strong positive rank correlation — the CopyCat's SR
+ordering tracks the program's.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig19(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig19", context=context, exact=True),
+    )
+    emit(result)
+    scc = {r[0]: r[1] for r in result.rows}["Spearman correlation"]
+    assert scc > 0.6, f"CopyCat should imitate the program (SCC {scc})"

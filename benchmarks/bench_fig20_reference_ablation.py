@@ -1,0 +1,26 @@
+"""Fig. 20: noise-adaptive vs random reference initialization."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig20(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "fig20",
+            context=context,
+            benchmarks=("GHZ_n4", "VQE_n4", "QEC_n4", "BV_n4"),
+            trials=3,
+            probe_shots=1024,
+            final_shots=2048,
+        ),
+    )
+    emit(result)
+    na = [row[1] for row in result.rows]
+    rand = [row[2] for row in result.rows]
+    # Paper shape: noise-adaptive reference is at least as good overall.
+    assert float(np.mean(na)) >= float(np.mean(rand)) - 0.03

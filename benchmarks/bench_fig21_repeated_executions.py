@@ -1,0 +1,29 @@
+"""Fig. 21: repeated GHZ_n4 executions within a calibration window."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig21(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "fig21",
+            context=context,
+            iterations=10,
+            gap_hours=1.0,
+            shots=1024,
+            probe_shots=1024,
+        ),
+    )
+    emit(result)
+    assert len(result.rows) == 10
+    # Runtime best upper-bounds both policies per iteration by
+    # construction of the per-iteration maximum.
+    for base, angel, best in zip(
+        result.series["baseline"],
+        result.series["angel"],
+        result.series["runtime_best"],
+    ):
+        assert best >= max(base, angel) - 0.08  # shot noise slack

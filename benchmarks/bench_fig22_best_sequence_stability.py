@@ -1,0 +1,16 @@
+"""Fig. 22: histogram of the runtime-best sequence across iterations."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_fig22(benchmark, context):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "fig22", context=context, iterations=10, gap_hours=1.0, shots=1024
+        ),
+    )
+    emit(result)
+    assert sum(row[1] for row in result.rows) == 10

@@ -1,0 +1,15 @@
+"""Table I: the benchmark suite with routed CNOT-site counts."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_table1(benchmark, context):
+    result = run_once(
+        benchmark, lambda: run_experiment("table1", context=context)
+    )
+    emit(result)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["toff_n3"][4] == 9  # the paper's post-SWAP count
+    assert by_name["GHZ_n4"][3] == 3

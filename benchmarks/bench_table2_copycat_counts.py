@@ -1,0 +1,17 @@
+"""Table II: CopyCats required — exhaustive vs ANGEL."""
+
+from repro.experiments import run_experiment
+
+from conftest import emit, run_once
+
+
+def bench_table2(benchmark, context):
+    result = run_once(
+        benchmark, lambda: run_experiment("table2", context=context)
+    )
+    emit(result)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["toff_n3"][3] == "19.7K"  # matches the paper exactly
+    assert by_name["toff_n3"][5] == 5
+    for row in result.rows:
+        assert row[5] <= 1 + 2 * row[2]  # 1 + 2L bound

@@ -1,0 +1,63 @@
+"""Stacking ANGEL with Clifford Data Regression (paper §VII-B).
+
+The paper positions ANGEL (better circuits before execution) as
+complementary to CDR (post-processing after execution) and conjectures
+the combination compounds. This example measures all four corners of
+that 2x2 on a VQE ansatz:
+
+                 raw            CDR-mitigated
+  baseline    |err_bb|           |err_bc|
+  ANGEL       |err_ab|           |err_ac|   <- conjecture: smallest
+
+Run:  python examples/error_mitigation_stack.py
+"""
+
+from repro.compiler import transpile
+from repro.core import Angel, AngelConfig, CliffordDataRegression
+from repro.core.cdr import parity_expectation
+from repro.experiments import ExperimentContext
+from repro.programs import vqe_n4
+
+
+def main() -> None:
+    context = ExperimentContext.create(seed=23, drift_hours=30.0)
+    device, calibration = context.device, context.calibration
+
+    compiled = transpile(vqe_n4(), device, calibration)
+    ideal = parity_expectation(compiled.ideal_distribution())
+    print(f"program: VQE_n4; ideal <Z..Z> = {ideal:+.4f}\n")
+
+    angel = Angel(device, calibration, AngelConfig(probe_shots=2048, seed=9))
+    result = angel.select(compiled)
+    configurations = (
+        ("baseline ", result.reference_sequence),
+        ("ANGEL    ", result.sequence),
+    )
+    print(f"{'nativization':12s} {'sequence':22s} "
+          f"{'raw err':>8s} {'CDR err':>8s}")
+    errors = {}
+    for label, sequence in configurations:
+        cdr = CliffordDataRegression(
+            device, num_training=16, shots=2048, seed=hash(label) % 2**31
+        )
+        raw, mitigated, fit = cdr.mitigated_expectation(
+            compiled, sequence, target_shots=8192
+        )
+        errors[label.strip()] = (abs(raw - ideal), abs(mitigated - ideal))
+        print(
+            f"{label:12s} {sequence.label():22s} "
+            f"{abs(raw - ideal):8.4f} {abs(mitigated - ideal):8.4f}"
+            f"   (fit: {fit.slope:.2f}x{fit.intercept:+.3f})"
+        )
+    best = min(errors.items(), key=lambda kv: kv[1][1])
+    print(f"\nBest mitigated error this run: {best[1][1]:.4f} under"
+          f" {best[0]} nativization.")
+    print("Caveats worth seeing in the numbers: ANGEL optimizes the "
+          "success rate (TVD),\nnot this parity observable, and CDR's "
+          "linear fit is shot-noise limited — so\nindividual runs vary. "
+          "The aggregate trend (bench_extension_cdr.py) is what\n"
+          "supports the paper's composition conjecture.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Circuit intermediate representation: gates, circuits, DAGs, Cliffords.
+
+Public surface:
+
+* :class:`~repro.circuit.gates.Gate` / the gate registry;
+* :class:`~repro.circuit.circuit.QuantumCircuit` builder/IR;
+* moment and DAG views (:mod:`repro.circuit.dag`);
+* the single-qubit Clifford group and nearest-Clifford replacement
+  (:mod:`repro.circuit.clifford`) used by CopyCats;
+* OpenQASM 2 round-tripping (:mod:`repro.circuit.qasm`);
+* random circuit generators (:mod:`repro.circuit.random_circuits`).
+"""
+
+from .circuit import QuantumCircuit
+from .clifford import (
+    SingleQubitClifford,
+    clifford_replacement_gates,
+    is_clifford_matrix,
+    nearest_clifford,
+    single_qubit_clifford_group,
+)
+from .dag import CircuitDag, Moment, circuit_moments, first_layer_indices
+from .drawer import draw_circuit
+from .gates import (
+    GATE_REGISTRY,
+    TWO_QUBIT_NATIVE_NAMES,
+    Gate,
+    GateSpec,
+    gate_matrix,
+)
+from .qasm import from_qasm, to_qasm
+from .random_circuits import (
+    random_circuit,
+    random_clifford_circuit,
+    random_parameterized_layer,
+)
+
+__all__ = [
+    "Gate",
+    "GateSpec",
+    "GATE_REGISTRY",
+    "TWO_QUBIT_NATIVE_NAMES",
+    "gate_matrix",
+    "QuantumCircuit",
+    "Moment",
+    "CircuitDag",
+    "circuit_moments",
+    "first_layer_indices",
+    "SingleQubitClifford",
+    "single_qubit_clifford_group",
+    "nearest_clifford",
+    "clifford_replacement_gates",
+    "is_clifford_matrix",
+    "to_qasm",
+    "from_qasm",
+    "draw_circuit",
+    "random_circuit",
+    "random_clifford_circuit",
+    "random_parameterized_layer",
+]

@@ -1,0 +1,432 @@
+"""The :class:`QuantumCircuit` intermediate representation.
+
+A circuit is an ordered list of :class:`~repro.circuit.gates.Gate`
+instructions over ``num_qubits`` qubits. It is the single IR used by every
+stage of the pipeline: programs are authored against it, the compiler
+rewrites it, CopyCats are derived from it, and the simulators execute it.
+
+The builder methods (``h``, ``cnot``, ``rx``...) return ``self`` so
+circuits can be written fluently::
+
+    qc = QuantumCircuit(2).h(0).cnot(0, 1).measure_all()
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from ..linalg import kron_n
+from .gates import BARRIER, MEASURE, Gate
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered sequence of gate instructions on a fixed qubit register.
+
+    Args:
+        num_qubits: Size of the qubit register; all instruction qubit
+            indices must be in ``range(num_qubits)``.
+        instructions: Optional initial instruction list (copied).
+        name: Human-readable label carried through compilation, used in
+            experiment reports.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        instructions: Optional[Iterable[Gate]] = None,
+        name: str = "circuit",
+    ) -> None:
+        if num_qubits < 1:
+            raise CircuitError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._instructions: List[Gate] = []
+        if instructions is not None:
+            for gate in instructions:
+                self.append(gate)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index):
+        return self._instructions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self._instructions == other._instructions
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"num_instructions={len(self)})"
+        )
+
+    @property
+    def instructions(self) -> Tuple[Gate, ...]:
+        """The instruction list as an immutable tuple."""
+        return tuple(self._instructions)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a prebuilt :class:`Gate`, validating its qubit range."""
+        if gate.qubits and max(gate.qubits) >= self.num_qubits:
+            raise CircuitError(
+                f"{gate} addresses qubits outside register of size "
+                f"{self.num_qubits}"
+            )
+        self._instructions.append(gate)
+        return self
+
+    def add(self, name: str, qubits: Sequence[int], *params: float) -> "QuantumCircuit":
+        """Append gate *name* on *qubits* with *params*."""
+        return self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    # Single-qubit fixed gates -----------------------------------------
+    def i(self, qubit: int) -> "QuantumCircuit":
+        return self.add("id", (qubit,))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.add("x", (qubit,))
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self.add("y", (qubit,))
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.add("z", (qubit,))
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.add("h", (qubit,))
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self.add("s", (qubit,))
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self.add("sdg", (qubit,))
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self.add("t", (qubit,))
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self.add("tdg", (qubit,))
+
+    # Single-qubit rotations -------------------------------------------
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.add("rx", (qubit,), theta)
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.add("ry", (qubit,), theta)
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.add("rz", (qubit,), theta)
+
+    def phase(self, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.add("phase", (qubit,), lam)
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.add("u3", (qubit,), theta, phi, lam)
+
+    # Two-qubit gates ----------------------------------------------------
+    def cnot(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("cnot", (control, target))
+
+    # Alias matching other toolkits.
+    cx = cnot
+
+    def cz(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.add("cz", (qubit_a, qubit_b))
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.add("swap", (qubit_a, qubit_b))
+
+    def iswap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.add("iswap", (qubit_a, qubit_b))
+
+    def cphase(self, theta: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.add("cphase", (qubit_a, qubit_b), theta)
+
+    def xy(self, theta: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self.add("xy", (qubit_a, qubit_b), theta)
+
+    def toffoli(self, control_a: int, control_b: int, target: int) -> "QuantumCircuit":
+        """Standard 6-CNOT Toffoli decomposition (T-depth 3)."""
+        self.h(target)
+        self.cnot(control_b, target)
+        self.tdg(target)
+        self.cnot(control_a, target)
+        self.t(target)
+        self.cnot(control_b, target)
+        self.tdg(target)
+        self.cnot(control_a, target)
+        self.t(control_b)
+        self.t(target)
+        self.h(target)
+        self.cnot(control_a, control_b)
+        self.t(control_a)
+        self.tdg(control_b)
+        self.cnot(control_a, control_b)
+        return self
+
+    # Non-unitary ---------------------------------------------------------
+    def measure(self, qubit: int) -> "QuantumCircuit":
+        return self.add(MEASURE, (qubit,))
+
+    def measure_all(self) -> "QuantumCircuit":
+        for qubit in range(self.num_qubits):
+            self.measure(qubit)
+        return self
+
+    def barrier(self) -> "QuantumCircuit":
+        return self.append(Gate(BARRIER, ()))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def has_measurements(self) -> bool:
+        return any(g.is_measurement for g in self._instructions)
+
+    def measured_qubits(self) -> Tuple[int, ...]:
+        """Qubits with a measure instruction, in first-measurement order."""
+        seen: List[int] = []
+        for gate in self._instructions:
+            if gate.is_measurement and gate.qubits[0] not in seen:
+                seen.append(gate.qubits[0])
+        return tuple(seen)
+
+    def gates(self) -> Iterator[Gate]:
+        """Iterate over unitary instructions only (no measure/barrier)."""
+        return (g for g in self._instructions if g.is_unitary)
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of instruction names."""
+        counts: Dict[str, int] = {}
+        for gate in self._instructions:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def num_two_qubit_gates(self) -> int:
+        return sum(1 for g in self.gates() if g.is_two_qubit)
+
+    def cnot_count(self) -> int:
+        """Number of explicit CNOT instructions (SWAPs not expanded)."""
+        return self.count_ops().get("cnot", 0)
+
+    def two_qubit_pairs(self) -> List[Tuple[int, int]]:
+        """Unordered qubit pairs touched by two-qubit gates, in order."""
+        return [
+            (min(g.qubits), max(g.qubits))
+            for g in self.gates()
+            if g.is_two_qubit
+        ]
+
+    def is_clifford(self) -> bool:
+        """True if every unitary instruction is a Clifford gate."""
+        return all(g.is_clifford for g in self.gates())
+
+    def non_clifford_gates(self) -> List[Tuple[int, Gate]]:
+        """(index, gate) for each non-Clifford unitary instruction."""
+        return [
+            (i, g)
+            for i, g in enumerate(self._instructions)
+            if g.is_unitary and not g.is_clifford
+        ]
+
+    def depth(self) -> int:
+        """Circuit depth counting unitary gates and measurements.
+
+        Barriers force alignment: every later gate is scheduled after every
+        earlier one across the barrier.
+        """
+        frontier = [0] * self.num_qubits
+        for gate in self._instructions:
+            if gate.is_barrier:
+                level = max(frontier) if frontier else 0
+                frontier = [level] * self.num_qubits
+                continue
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for qubit in gate.qubits:
+                frontier[qubit] = level
+        return max(frontier) if frontier else 0
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        return QuantumCircuit(
+            self.num_qubits, self._instructions, name or self.name
+        )
+
+    def inverse(self) -> "QuantumCircuit":
+        """The adjoint circuit (unitary part only; measurements rejected)."""
+        if self.has_measurements:
+            raise CircuitError("cannot invert a circuit with measurements")
+        inv = QuantumCircuit(self.num_qubits, name=f"{self.name}_dg")
+        for gate in reversed(self._instructions):
+            if gate.is_barrier:
+                inv.barrier()
+            else:
+                inv.append(gate.inverse())
+        return inv
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit running ``self`` then ``other``."""
+        if other.num_qubits > self.num_qubits:
+            raise CircuitError(
+                "cannot compose a wider circuit onto a narrower one"
+            )
+        combined = self.copy()
+        for gate in other:
+            combined.append(gate)
+        return combined
+
+    def remap_qubits(
+        self, mapping: Sequence[int], num_qubits: Optional[int] = None
+    ) -> "QuantumCircuit":
+        """Relabel qubit *q* to ``mapping[q]`` (e.g. apply a device layout).
+
+        Args:
+            mapping: ``mapping[q]`` is the new index of logical qubit *q*.
+            num_qubits: Register size of the output circuit; defaults to
+                ``max(mapping) + 1``.
+        """
+        if len(mapping) < self.num_qubits:
+            raise CircuitError("mapping shorter than qubit register")
+        new_size = num_qubits if num_qubits is not None else max(mapping) + 1
+        remapped = QuantumCircuit(new_size, name=self.name)
+        for gate in self._instructions:
+            if gate.is_barrier:
+                remapped.barrier()
+            else:
+                remapped.append(gate.remap(mapping))
+        return remapped
+
+    def compacted(self) -> Tuple["QuantumCircuit", Tuple[int, ...]]:
+        """Relabel onto a dense register of only the qubits actually used.
+
+        Returns ``(compact_circuit, used_qubits)`` where ``used_qubits``
+        is sorted and ``used_qubits[i]`` is the original index of compact
+        qubit *i*. Physical circuits address sparse ids (e.g. 30-37 on an
+        Aspen octagon); simulators want dense registers.
+        """
+        used = sorted({q for gate in self._instructions for q in gate.qubits})
+        if not used:
+            return QuantumCircuit(1, name=self.name), (0,)
+        local_of = {phys: local for local, phys in enumerate(used)}
+        compact = QuantumCircuit(len(used), name=self.name)
+        for gate in self._instructions:
+            if gate.is_barrier:
+                compact.barrier()
+            else:
+                compact.append(
+                    Gate(
+                        gate.name,
+                        tuple(local_of[q] for q in gate.qubits),
+                        gate.params,
+                    )
+                )
+        return compact, tuple(used)
+
+    def without_measurements(self) -> "QuantumCircuit":
+        """Copy of the circuit with measure instructions removed."""
+        stripped = QuantumCircuit(self.num_qubits, name=self.name)
+        for gate in self._instructions:
+            if not gate.is_measurement:
+                stripped.append(gate)
+        return stripped
+
+    # ------------------------------------------------------------------
+    # Dense matrix semantics (for tests and small references)
+    # ------------------------------------------------------------------
+    def unitary(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` unitary of the circuit (measurements rejected).
+
+        Intended for verification at small widths; raises beyond 12 qubits
+        to guard against accidental exponential blowups.
+        """
+        if self.has_measurements:
+            raise CircuitError("circuit with measurements has no unitary")
+        if self.num_qubits > 12:
+            raise CircuitError(
+                "dense unitary limited to 12 qubits; use a simulator"
+            )
+        dim = 2**self.num_qubits
+        total = np.eye(dim, dtype=complex)
+        for gate in self.gates():
+            total = self._expand(gate) @ total
+        return total
+
+    def _expand(self, gate: Gate) -> np.ndarray:
+        """Embed a 1- or 2-qubit gate matrix into the full register space."""
+        matrix = gate.matrix()
+        if len(gate.qubits) == 1:
+            factors = [
+                matrix if q == gate.qubits[0] else np.eye(2)
+                for q in range(self.num_qubits)
+            ]
+            return kron_n(*factors)
+        if len(gate.qubits) == 2:
+            return _expand_two_qubit(matrix, gate.qubits, self.num_qubits)
+        raise CircuitError(f"cannot expand {gate.num_qubits}-qubit gate")
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """One instruction per line, for logs and golden tests."""
+        lines = [f"# {self.name} ({self.num_qubits} qubits)"]
+        lines.extend(str(g) for g in self._instructions)
+        return "\n".join(lines)
+
+    def draw(self) -> str:
+        """Moment-aligned ASCII diagram (see :mod:`repro.circuit.drawer`)."""
+        from .drawer import draw_circuit
+
+        return draw_circuit(self)
+
+
+def _expand_two_qubit(
+    matrix: np.ndarray, qubits: Tuple[int, int], num_qubits: int
+) -> np.ndarray:
+    """Expand a two-qubit gate onto arbitrary (possibly distant) qubits.
+
+    Works in the big-endian tensor basis by permuting the gate's axes into
+    place via einsum-style reshaping.
+    """
+    q0, q1 = qubits
+    tensor = matrix.reshape(2, 2, 2, 2)
+    dim = 2**num_qubits
+    full = np.zeros((dim, dim), dtype=complex)
+    # Build by iterating over basis states; widths here are tiny (<=12).
+    for col in range(dim):
+        bits = [(col >> (num_qubits - 1 - q)) & 1 for q in range(num_qubits)]
+        b0, b1 = bits[q0], bits[q1]
+        for a0 in range(2):
+            for a1 in range(2):
+                amplitude = tensor[a0, a1, b0, b1]
+                if amplitude == 0:
+                    continue
+                new_bits = list(bits)
+                new_bits[q0], new_bits[q1] = a0, a1
+                row = 0
+                for bit in new_bits:
+                    row = (row << 1) | bit
+                full[row, col] += amplitude
+    return full

@@ -1,0 +1,267 @@
+"""The single-qubit Clifford group and nearest-Clifford replacement.
+
+The CopyCat construction (paper section IV-E1) replaces each non-Clifford
+single-qubit gate with the Clifford whose unitary is closest in operator
+norm (Eq. 1). Two paper-mandated details are honored here:
+
+* the distance is computed between unitaries, and we quotient out the
+  unobservable global phase (see
+  :func:`repro.linalg.phase_invariant_distance`);
+* Hadamard-like Cliffords — those that map a computational basis state to
+  an equal superposition — can be excluded from the candidate set, because
+  a CopyCat built from them produces a near-uniform output distribution
+  that is insensitive to native-gate choice ("ANGEL does not utilize the H
+  as it creates an equal superposition state").
+
+The group is generated from {H, S} products and deduplicated up to phase,
+yielding exactly 24 elements, each carried with a short gate-sequence
+decomposition so replacements can be spliced back into circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from ..linalg import phase_invariant_distance, unitaries_equal_up_to_phase
+from .gates import Gate, gate_matrix
+
+__all__ = [
+    "SingleQubitClifford",
+    "single_qubit_clifford_group",
+    "nearest_clifford",
+    "is_clifford_matrix",
+    "clifford_replacement_gates",
+]
+
+_GENERATOR_NAMES = ("h", "s")
+
+# Preferred short spellings, tried in order when labelling group elements.
+_CANONICAL_WORDS: Tuple[Tuple[str, ...], ...] = (
+    (),
+    ("x",),
+    ("y",),
+    ("z",),
+    ("h",),
+    ("s",),
+    ("sdg",),
+    ("s", "x"),
+    ("sdg", "x"),
+    ("h", "s"),
+    ("h", "sdg"),
+    ("s", "h"),
+    ("sdg", "h"),
+    ("h", "x"),
+    ("h", "y"),
+    ("h", "z"),
+    ("x", "h"),
+    ("s", "h", "s"),
+    ("sdg", "h", "sdg"),
+    ("s", "h", "sdg"),
+    ("sdg", "h", "s"),
+    ("h", "s", "h"),
+    ("h", "sdg", "h"),
+    ("s", "h", "x"),
+    ("sdg", "h", "x"),
+    ("x", "h", "s"),
+    ("x", "h", "sdg"),
+    ("s", "x", "h"),
+    ("h", "s", "x"),
+    ("h", "sdg", "x"),
+    ("z", "h", "s"),
+    ("s", "s", "h"),
+)
+
+
+def _word_matrix(word: Sequence[str]) -> np.ndarray:
+    """Unitary of a gate word applied left-to-right in circuit order."""
+    matrix = np.eye(2, dtype=complex)
+    for name in word:
+        matrix = gate_matrix(name) @ matrix
+    return matrix
+
+
+@dataclass(frozen=True)
+class SingleQubitClifford:
+    """One element of the 24-element single-qubit Clifford group.
+
+    Attributes:
+        label: Short human-readable name, e.g. ``"s.h"`` for S after H.
+        word: Gate names in circuit (application) order that realize the
+            element using only {x, y, z, h, s, sdg}.
+        matrix: The 2x2 unitary (a canonical phase representative).
+        hadamard_like: True if the element maps |0> or |1> to an equal
+            superposition — the elements ANGEL excludes as replacements.
+    """
+
+    label: str
+    word: Tuple[str, ...]
+    matrix: np.ndarray
+    hadamard_like: bool
+
+    def gates(self, qubit: int) -> List[Gate]:
+        """The element as concrete gates on *qubit*, in application order."""
+        return [Gate(name, (qubit,)) for name in self.word]
+
+    def __repr__(self) -> str:
+        return f"SingleQubitClifford({self.label!r})"
+
+
+def _is_hadamard_like(matrix: np.ndarray, atol: float = 1e-9) -> bool:
+    """True if the unitary sends a basis state to an even superposition.
+
+    Checked on both |0> and |1>: if either image has |amplitude|^2 within
+    tolerance of 1/2 on each basis state, the element behaves like a
+    Hadamard for CopyCat purposes (it raises the output entropy).
+    """
+    for col in range(2):
+        probs = np.abs(matrix[:, col]) ** 2
+        if np.allclose(probs, 0.5, atol=1e-6):
+            return True
+    return False
+
+
+def _generate_group() -> List[SingleQubitClifford]:
+    """Enumerate the group by BFS over {H, S} products, dedup up to phase."""
+    elements: List[np.ndarray] = [np.eye(2, dtype=complex)]
+    frontier: List[np.ndarray] = [np.eye(2, dtype=complex)]
+    while frontier:
+        new_frontier: List[np.ndarray] = []
+        for matrix in frontier:
+            for gen_name in _GENERATOR_NAMES:
+                candidate = gate_matrix(gen_name) @ matrix
+                if not any(
+                    unitaries_equal_up_to_phase(candidate, known)
+                    for known in elements
+                ):
+                    elements.append(candidate)
+                    new_frontier.append(candidate)
+        frontier = new_frontier
+    if len(elements) != 24:  # pragma: no cover - structural invariant
+        raise CircuitError(
+            f"Clifford group generation produced {len(elements)} elements"
+        )
+
+    group: List[SingleQubitClifford] = []
+    for matrix in elements:
+        word = _shortest_word(matrix)
+        group.append(
+            SingleQubitClifford(
+                label=".".join(word) if word else "id",
+                word=word,
+                matrix=matrix,
+                hadamard_like=_is_hadamard_like(matrix),
+            )
+        )
+    return group
+
+
+def _shortest_word(matrix: np.ndarray) -> Tuple[str, ...]:
+    """Find a shortest gate word realizing *matrix* up to phase.
+
+    Tries the curated canonical spellings first, then falls back to a
+    breadth-first search over {x, y, z, h, s, sdg} words of length <= 4
+    (sufficient for the whole group).
+    """
+    for word in _CANONICAL_WORDS:
+        if unitaries_equal_up_to_phase(matrix, _word_matrix(word)):
+            return tuple(word)
+    alphabet = ("x", "y", "z", "h", "s", "sdg")
+    frontier: List[Tuple[Tuple[str, ...], np.ndarray]] = [
+        ((), np.eye(2, dtype=complex))
+    ]
+    for _length in range(4):
+        next_frontier: List[Tuple[Tuple[str, ...], np.ndarray]] = []
+        for word, partial in frontier:
+            for name in alphabet:
+                new_word = word + (name,)
+                new_matrix = gate_matrix(name) @ partial
+                if unitaries_equal_up_to_phase(matrix, new_matrix):
+                    return new_word
+                next_frontier.append((new_word, new_matrix))
+        frontier = next_frontier
+    raise CircuitError("no word found for Clifford element")  # pragma: no cover
+
+
+_GROUP: Optional[List[SingleQubitClifford]] = None
+
+
+def single_qubit_clifford_group() -> List[SingleQubitClifford]:
+    """The 24-element single-qubit Clifford group (cached)."""
+    global _GROUP
+    if _GROUP is None:
+        _GROUP = _generate_group()
+    return list(_GROUP)
+
+
+def is_clifford_matrix(matrix: np.ndarray, atol: float = 1e-7) -> bool:
+    """True if the 2x2 unitary is a Clifford element up to global phase."""
+    return any(
+        unitaries_equal_up_to_phase(matrix, element.matrix, atol=atol)
+        for element in single_qubit_clifford_group()
+    )
+
+
+def nearest_clifford(
+    matrix: np.ndarray,
+    exclude_hadamard_like: bool = True,
+) -> Tuple[SingleQubitClifford, float]:
+    """Closest Clifford to *matrix* under the operator norm (paper Eq. 1).
+
+    Args:
+        matrix: A 2x2 unitary to replace.
+        exclude_hadamard_like: Drop superposition-creating candidates, as
+            ANGEL does ("does not utilize the H"). If every candidate would
+            be excluded the full group is used as a fallback, which cannot
+            happen for the 24-element group but guards future extensions.
+
+    Returns:
+        ``(element, distance)`` — the winning group element and its
+        phase-invariant operator-norm distance to *matrix*. Ties are broken
+        toward shorter replacement words, then lexicographic label, so the
+        result is deterministic.
+    """
+    candidates = single_qubit_clifford_group()
+    if exclude_hadamard_like:
+        kept = [c for c in candidates if not c.hadamard_like]
+        if kept:
+            candidates = kept
+    best: Optional[SingleQubitClifford] = None
+    best_distance = math.inf
+    for element in candidates:
+        distance = phase_invariant_distance(matrix, element.matrix)
+        better = distance < best_distance - 1e-12
+        tie = abs(distance - best_distance) <= 1e-12
+        if better or (
+            tie
+            and best is not None
+            and (len(element.word), element.label)
+            < (len(best.word), best.label)
+        ):
+            best = element
+            best_distance = distance
+    assert best is not None
+    return best, float(best_distance)
+
+
+def clifford_replacement_gates(
+    gate: Gate, exclude_hadamard_like: bool = True
+) -> Tuple[List[Gate], float]:
+    """Nearest-Clifford replacement for a single-qubit *gate*.
+
+    Returns the concrete replacement gates on the same qubit and the
+    operator-norm distance. Raises :class:`CircuitError` for multi-qubit
+    or non-unitary input.
+    """
+    if not gate.is_unitary or gate.num_qubits != 1:
+        raise CircuitError(
+            f"nearest-Clifford replacement needs a 1-qubit unitary, got {gate}"
+        )
+    element, distance = nearest_clifford(
+        gate.matrix(), exclude_hadamard_like=exclude_hadamard_like
+    )
+    return element.gates(gate.qubits[0]), distance

@@ -1,0 +1,147 @@
+"""Dependency-graph views of a circuit: moments and per-qubit wires.
+
+The compiler's scheduler and the CopyCat builder both need structural
+views beyond the flat instruction list:
+
+* :func:`circuit_moments` groups instructions into ASAP layers (moments) —
+  the schedule used to report depth and to identify the *initial layer*
+  whose non-Clifford gates a CopyCat may retain (paper section IV-E1).
+* :class:`CircuitDag` exposes predecessor/successor relations between
+  instructions, which routing uses to interleave SWAPs correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["Moment", "circuit_moments", "CircuitDag", "first_layer_indices"]
+
+
+@dataclass(frozen=True)
+class Moment:
+    """A set of instructions that can execute simultaneously.
+
+    Attributes:
+        index: Zero-based moment number (time step).
+        items: ``(instruction_index, gate)`` pairs in circuit order.
+    """
+
+    index: int
+    items: Tuple[Tuple[int, Gate], ...]
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        return tuple(gate for _, gate in self.items)
+
+    def qubits(self) -> Tuple[int, ...]:
+        touched: List[int] = []
+        for _, gate in self.items:
+            touched.extend(gate.qubits)
+        return tuple(sorted(set(touched)))
+
+
+def circuit_moments(circuit: QuantumCircuit) -> List[Moment]:
+    """ASAP-schedule *circuit* into moments.
+
+    Each instruction lands in the earliest moment after all instructions
+    sharing a qubit with it. Barriers advance every wire to a common
+    moment boundary and are not emitted themselves.
+    """
+    frontier = [0] * circuit.num_qubits
+    buckets: Dict[int, List[Tuple[int, Gate]]] = {}
+    for idx, gate in enumerate(circuit):
+        if gate.is_barrier:
+            level = max(frontier) if frontier else 0
+            frontier = [level] * circuit.num_qubits
+            continue
+        level = max(frontier[q] for q in gate.qubits)
+        buckets.setdefault(level, []).append((idx, gate))
+        for qubit in gate.qubits:
+            frontier[qubit] = level + 1
+    return [
+        Moment(index=i, items=tuple(buckets[i]))
+        for i in sorted(buckets.keys())
+    ]
+
+
+def first_layer_indices(circuit: QuantumCircuit) -> List[int]:
+    """Instruction indices in the circuit's first moment.
+
+    This is the *initial layer* of paper section IV-E1: the CopyCat
+    builder is allowed to keep non-Clifford gates here (up to a budget) so
+    the probe state is not an all-Clifford, maximum-entropy state.
+    """
+    moments = circuit_moments(circuit)
+    if not moments:
+        return []
+    return [idx for idx, _ in moments[0].items]
+
+
+@dataclass
+class CircuitDag:
+    """Explicit dependency DAG over instruction indices.
+
+    Edges connect each instruction to the next instruction on each of its
+    qubits. Construction is linear in circuit size.
+    """
+
+    circuit: QuantumCircuit
+    predecessors: Dict[int, List[int]] = field(default_factory=dict)
+    successors: Dict[int, List[int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "CircuitDag":
+        dag = cls(circuit=circuit)
+        last_on_qubit: Dict[int, int] = {}
+        for idx, gate in enumerate(circuit):
+            dag.predecessors[idx] = []
+            dag.successors[idx] = []
+            if gate.is_barrier:
+                # A barrier depends on every open wire and resets them all.
+                for prev in set(last_on_qubit.values()):
+                    dag._link(prev, idx)
+                for qubit in range(circuit.num_qubits):
+                    last_on_qubit[qubit] = idx
+                continue
+            for qubit in gate.qubits:
+                prev = last_on_qubit.get(qubit)
+                if prev is not None:
+                    dag._link(prev, idx)
+                last_on_qubit[qubit] = idx
+        return dag
+
+    def _link(self, src: int, dst: int) -> None:
+        if dst not in self.successors[src]:
+            self.successors[src].append(dst)
+        if src not in self.predecessors[dst]:
+            self.predecessors[dst].append(src)
+
+    def topological_order(self) -> List[int]:
+        """Instruction indices in a valid execution order (Kahn's algo)."""
+        in_degree = {i: len(p) for i, p in self.predecessors.items()}
+        ready = sorted(i for i, d in in_degree.items() if d == 0)
+        order: List[int] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for succ in self.successors[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+        return order
+
+    def longest_path_length(self) -> int:
+        """Number of instructions on the critical path."""
+        order = self.topological_order()
+        depth: Dict[int, int] = {}
+        best = 0
+        for node in order:
+            preds = self.predecessors[node]
+            depth[node] = 1 + max((depth[p] for p in preds), default=0)
+            best = max(best, depth[node])
+        return best

@@ -1,0 +1,126 @@
+"""ASCII circuit rendering.
+
+Moment-aligned text diagrams for logs, examples, and the CLI::
+
+    q0: -H--*------M-
+            |
+    q1: ----X--*---M-
+               |
+    q2: -------X---M-
+
+Controls render as ``*``, CNOT targets as ``X``, CZ endpoints both as
+``*``, SWAP endpoints as ``x``; parametric gates show a compact angle
+(``RZ(pi/2)``). Wires between a two-qubit gate's endpoints carry a ``|``
+connector in that column.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set, Tuple
+
+from .circuit import QuantumCircuit
+from .dag import circuit_moments
+from .gates import Gate
+
+__all__ = ["draw_circuit"]
+
+_FIXED_LABELS = {
+    "id": "I",
+    "x": "X",
+    "y": "Y",
+    "z": "Z",
+    "h": "H",
+    "s": "S",
+    "sdg": "Sdg",
+    "t": "T",
+    "tdg": "Tdg",
+    "measure": "M",
+}
+
+
+def _angle_text(value: float) -> str:
+    for denominator in (1, 2, 3, 4, 6, 8):
+        for sign in (1, -1):
+            if abs(value - sign * math.pi / denominator) < 1e-9:
+                prefix = "-" if sign < 0 else ""
+                if denominator == 1:
+                    return f"{prefix}pi"
+                return f"{prefix}pi/{denominator}"
+    if abs(value) < 1e-12:
+        return "0"
+    return f"{value:.3g}"
+
+
+def _single_label(gate: Gate) -> str:
+    if gate.name in _FIXED_LABELS:
+        return _FIXED_LABELS[gate.name]
+    if gate.params:
+        args = ",".join(_angle_text(p) for p in gate.params)
+        return f"{gate.name.upper()}({args})"
+    return gate.name.upper()
+
+
+def _two_qubit_labels(gate: Gate) -> Tuple[str, str]:
+    """(label on first listed qubit, label on second listed qubit)."""
+    if gate.name == "cnot":
+        return "*", "X"
+    if gate.name == "cz":
+        return "*", "*"
+    if gate.name == "swap":
+        return "x", "x"
+    if gate.name == "iswap":
+        return "i", "i"
+    if gate.name in ("cphase", "xy"):
+        tag = f"{gate.name.upper()}({_angle_text(gate.params[0])})"
+        return "*", tag
+    label = gate.name.upper()
+    return label, label
+
+
+def draw_circuit(circuit: QuantumCircuit, wire_prefix: str = "q") -> str:
+    """Render *circuit* as a moment-aligned ASCII diagram."""
+    num_qubits = circuit.num_qubits
+    moments = circuit_moments(circuit)
+    cells: Dict[Tuple[int, int], str] = {}
+    # gaps[column] = set of wire indices w with a connector between
+    # wires w and w+1.
+    gaps: Dict[int, Set[int]] = {}
+    for column, moment in enumerate(moments):
+        for _, gate in moment.items:
+            if gate.is_barrier:
+                continue
+            if gate.num_qubits == 1:
+                cells[(gate.qubits[0], column)] = _single_label(gate)
+                continue
+            first_label, second_label = _two_qubit_labels(gate)
+            cells[(gate.qubits[0], column)] = first_label
+            cells[(gate.qubits[1], column)] = second_label
+            low, high = sorted(gate.qubits)
+            gaps.setdefault(column, set()).update(range(low, high))
+
+    widths = [
+        max([len(cells.get((q, col), "")) for q in range(num_qubits)] + [1])
+        for col in range(len(moments))
+    ]
+    name_width = len(f"{wire_prefix}{num_qubits - 1}") + 1
+    lines: List[str] = []
+    for qubit in range(num_qubits):
+        segments = [f"{wire_prefix}{qubit}:".ljust(name_width + 1)]
+        for column, width in enumerate(widths):
+            label = cells.get((qubit, column), "")
+            segments.append("-" + label.center(width, "-") + "-")
+        lines.append("".join(segments))
+        if qubit < num_qubits - 1:
+            connector_columns = [
+                column
+                for column in range(len(moments))
+                if qubit in gaps.get(column, set())
+            ]
+            if connector_columns:
+                segments = [" " * (name_width + 1)]
+                for column, width in enumerate(widths):
+                    mark = "|" if column in connector_columns else " "
+                    segments.append(" " + mark.center(width) + " ")
+                lines.append("".join(segments).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Minimal OpenQASM 2 import/export for the circuit IR.
+
+Programs in the evaluation suite originate from QASM-based benchmark
+collections (QASMBench etc.), so the library can round-trip the gate
+vocabulary it uses. This is deliberately a subset of OpenQASM 2: one
+quantum register, one classical register, no conditionals, no ``gate``
+definitions — enough to serialize every circuit the paper's pipeline
+produces and to ingest the standard benchmark files.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from ..exceptions import QasmError
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["to_qasm", "from_qasm"]
+
+# IR gate name -> QASM spelling (and back).
+_TO_QASM_NAME = {
+    "cnot": "cx",
+    "phase": "u1",
+    "cphase": "cp",
+    "xy": "xy",  # non-standard; emitted for completeness, parsed back
+    "iswap": "iswap",
+    "id": "id",
+}
+_FROM_QASM_NAME = {v: k for k, v in _TO_QASM_NAME.items()}
+_FROM_QASM_NAME.update({"cx": "cnot", "u1": "phase", "cp": "cphase", "u": "u3"})
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";'
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize *circuit* to OpenQASM 2 text."""
+    lines = [_HEADER, f"qreg q[{circuit.num_qubits}];"]
+    measured = circuit.measured_qubits()
+    if measured:
+        lines.append(f"creg c[{len(measured)}];")
+    clbit_of = {qubit: i for i, qubit in enumerate(measured)}
+    for gate in circuit:
+        if gate.is_barrier:
+            lines.append("barrier q;")
+            continue
+        if gate.is_measurement:
+            qubit = gate.qubits[0]
+            lines.append(f"measure q[{qubit}] -> c[{clbit_of[qubit]}];")
+            continue
+        name = _TO_QASM_NAME.get(gate.name, gate.name)
+        params = ""
+        if gate.params:
+            params = "(" + ",".join(_format_angle(p) for p in gate.params) + ")"
+        qubits = ",".join(f"q[{q}]" for q in gate.qubits)
+        lines.append(f"{name}{params} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle, preferring exact pi fractions for readability."""
+    for denom in (1, 2, 3, 4, 6, 8):
+        for numer_sign in (1, -1):
+            target = numer_sign * math.pi / denom
+            if abs(value - target) < 1e-12:
+                sign = "-" if numer_sign < 0 else ""
+                return f"{sign}pi/{denom}" if denom != 1 else f"{sign}pi"
+    if abs(value) < 1e-12:
+        return "0"
+    return repr(value)
+
+
+_TOKEN_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][\w]*)\s*(?:\((?P<params>[^)]*)\))?\s*(?P<args>.*)$"
+)
+_QREG_RE = re.compile(r"^qreg\s+(?P<name>\w+)\s*\[(?P<size>\d+)\]$")
+_CREG_RE = re.compile(r"^creg\s+\w+\s*\[\d+\]$")
+_MEASURE_RE = re.compile(
+    r"^measure\s+\w+\[(?P<q>\d+)\]\s*->\s*\w+\[\d+\]$"
+)
+_QUBIT_RE = re.compile(r"\w+\[(\d+)\]")
+
+
+def _parse_angle(text: str) -> float:
+    """Evaluate a QASM angle expression (pi fractions and arithmetic)."""
+    text = text.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[-+*/.()\d\se]+", text):
+        raise QasmError(f"unsupported angle expression {text!r}")
+    try:
+        return float(eval(text, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate angle {text!r}") from exc
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2 *text* into a :class:`QuantumCircuit`.
+
+    Supports the single-register subset produced by :func:`to_qasm` plus
+    the common aliases (``cx``, ``u1``, ``cp``, ``u``).
+    """
+    circuit: QuantumCircuit | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        for statement in filter(None, (s.strip() for s in line.split(";"))):
+            circuit = _parse_statement(statement, circuit)
+    if circuit is None:
+        raise QasmError("no qreg declaration found")
+    return circuit
+
+
+def _parse_statement(
+    statement: str, circuit: QuantumCircuit | None
+) -> QuantumCircuit | None:
+    if statement.startswith("OPENQASM") or statement.startswith("include"):
+        return circuit
+
+    qreg = _QREG_RE.match(statement)
+    if qreg:
+        if circuit is not None:
+            raise QasmError("multiple qreg declarations are not supported")
+        return QuantumCircuit(int(qreg.group("size")))
+    if _CREG_RE.match(statement):
+        return circuit
+
+    if circuit is None:
+        raise QasmError(f"statement before qreg: {statement!r}")
+
+    measure = _MEASURE_RE.match(statement)
+    if measure:
+        circuit.measure(int(measure.group("q")))
+        return circuit
+
+    if statement.startswith("barrier"):
+        circuit.barrier()
+        return circuit
+
+    token = _TOKEN_RE.match(statement)
+    if not token:
+        raise QasmError(f"cannot parse statement {statement!r}")
+    qasm_name = token.group("name")
+    name = _FROM_QASM_NAME.get(qasm_name, qasm_name)
+    params: Tuple[float, ...] = ()
+    if token.group("params"):
+        params = tuple(
+            _parse_angle(p) for p in token.group("params").split(",")
+        )
+    qubits = tuple(int(m) for m in _QUBIT_RE.findall(token.group("args")))
+    try:
+        circuit.append(Gate(name, qubits, params))
+    except Exception as exc:
+        raise QasmError(f"invalid statement {statement!r}: {exc}") from exc
+    return circuit

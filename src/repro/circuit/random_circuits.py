@@ -1,0 +1,95 @@
+"""Random circuit generators for tests, RB sequences, and stress studies.
+
+Three flavors:
+
+* :func:`random_clifford_circuit` — uniform-ish random Clifford circuits,
+  used for randomized-benchmarking layers and to cross-validate the
+  stabilizer simulator against the state-vector simulator;
+* :func:`random_circuit` — arbitrary-gate random circuits for property
+  tests of the compiler (any circuit must nativize to an equivalent one);
+* :func:`random_parameterized_layer` — a layer of random U3 rotations,
+  used by characterization micro-benchmarks and CopyCat studies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+
+__all__ = [
+    "random_clifford_circuit",
+    "random_circuit",
+    "random_parameterized_layer",
+]
+
+_CLIFFORD_1Q = ("x", "y", "z", "h", "s", "sdg")
+_CLIFFORD_2Q = ("cnot", "cz", "swap")
+_GENERIC_1Q = ("x", "y", "z", "h", "s", "t", "tdg", "rx", "ry", "rz")
+_GENERIC_2Q = ("cnot", "cz", "swap", "iswap")
+_PARAMETRIC = {"rx", "ry", "rz", "phase"}
+
+
+def random_clifford_circuit(
+    num_qubits: int,
+    depth: int,
+    rng: np.random.Generator,
+    two_qubit_probability: float = 0.3,
+) -> QuantumCircuit:
+    """A random circuit built only from Clifford gates.
+
+    Each layer applies either a random two-qubit Clifford on a random pair
+    (with probability *two_qubit_probability*, requires >= 2 qubits) or a
+    random single-qubit Clifford on a random qubit.
+    """
+    circuit = QuantumCircuit(num_qubits, name="random_clifford")
+    for _ in range(depth):
+        if num_qubits >= 2 and rng.random() < two_qubit_probability:
+            pair = rng.choice(num_qubits, size=2, replace=False)
+            name = _CLIFFORD_2Q[rng.integers(len(_CLIFFORD_2Q))]
+            circuit.add(name, (int(pair[0]), int(pair[1])))
+        else:
+            name = _CLIFFORD_1Q[rng.integers(len(_CLIFFORD_1Q))]
+            circuit.add(name, (int(rng.integers(num_qubits)),))
+    return circuit
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    rng: np.random.Generator,
+    two_qubit_probability: float = 0.3,
+) -> QuantumCircuit:
+    """A random circuit drawing from the generic gate vocabulary."""
+    circuit = QuantumCircuit(num_qubits, name="random")
+    for _ in range(depth):
+        if num_qubits >= 2 and rng.random() < two_qubit_probability:
+            pair = rng.choice(num_qubits, size=2, replace=False)
+            name = _GENERIC_2Q[rng.integers(len(_GENERIC_2Q))]
+            circuit.add(name, (int(pair[0]), int(pair[1])))
+        else:
+            name = _GENERIC_1Q[rng.integers(len(_GENERIC_1Q))]
+            qubit = int(rng.integers(num_qubits))
+            if name in _PARAMETRIC:
+                theta = float(rng.uniform(-np.pi, np.pi))
+                circuit.add(name, (qubit,), theta)
+            else:
+                circuit.add(name, (qubit,))
+    return circuit
+
+
+def random_parameterized_layer(
+    num_qubits: int,
+    rng: np.random.Generator,
+    qubits: Optional[Sequence[int]] = None,
+) -> QuantumCircuit:
+    """One layer of Haar-ish random U3 rotations on the chosen qubits."""
+    circuit = QuantumCircuit(num_qubits, name="random_u3_layer")
+    for qubit in qubits if qubits is not None else range(num_qubits):
+        theta = float(np.arccos(rng.uniform(-1.0, 1.0)))
+        phi = float(rng.uniform(0.0, 2 * np.pi))
+        lam = float(rng.uniform(0.0, 2 * np.pi))
+        circuit.u3(theta, phi, lam, qubit)
+    return circuit

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile`` — nativize a program (Table I name or OpenQASM file) for a
+  simulated device under a chosen policy (baseline / angel / a fixed
+  gate), execute it, and report the success rate.
+* ``experiments`` — regenerate paper artifacts (delegates to
+  :mod:`repro.experiments.runner`).
+* ``device`` — print a device's topology and calibrated fidelity map.
+* ``suite`` — print the benchmark suite (Table I).
+* ``draw`` — ASCII-render a program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .circuit import QuantumCircuit, from_qasm, to_qasm
+from .compiler import transpile
+from .core import Angel, AngelConfig, NativeGateSequence
+from .device.native_gates import NATIVE_TWO_QUBIT_GATES
+from .exceptions import ReproError
+from .experiments import ExperimentContext, run_experiment
+from .metrics import success_rate_from_counts
+from .programs import benchmark_suite, get_benchmark
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_program(source: str) -> QuantumCircuit:
+    """A Table I benchmark name, or a path to an OpenQASM 2 file."""
+    path = Path(source)
+    if path.exists():
+        circuit = from_qasm(path.read_text())
+        circuit.name = path.stem
+        return circuit
+    return get_benchmark(source).build()
+
+
+def _make_context(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext.create(
+        device_name=args.device,
+        seed=args.seed,
+        drift_hours=args.drift_hours,
+    )
+
+
+def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--device",
+        default="aspen-11",
+        choices=("aspen-11", "aspen-m-1"),
+        help="simulated device preset",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=11, help="device / chip-day seed"
+    )
+    parser.add_argument(
+        "--drift-hours",
+        type=float,
+        default=30.0,
+        help="hours of drift since the last full calibration",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ANGEL (HPCA 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser(
+        "compile", help="nativize and execute a program"
+    )
+    compile_parser.add_argument(
+        "program", help="Table I benchmark name or OpenQASM 2 file path"
+    )
+    compile_parser.add_argument(
+        "--policy",
+        default="angel",
+        choices=("angel", "baseline", *NATIVE_TWO_QUBIT_GATES),
+        help="native gate selection policy (or a fixed gate)",
+    )
+    compile_parser.add_argument("--shots", type=int, default=4096)
+    compile_parser.add_argument("--probe-shots", type=int, default=1024)
+    compile_parser.add_argument(
+        "--emit-qasm",
+        action="store_true",
+        help="print the native circuit as OpenQASM",
+    )
+    _add_context_arguments(compile_parser)
+
+    experiments_parser = sub.add_parser(
+        "experiments", help="regenerate paper artifacts"
+    )
+    experiments_parser.add_argument("ids", nargs="+", metavar="experiment-id")
+
+    device_parser = sub.add_parser("device", help="device fidelity map")
+    device_parser.add_argument("--max-links", type=int, default=None)
+    _add_context_arguments(device_parser)
+
+    sub.add_parser("suite", help="print the benchmark suite (Table I)")
+
+    draw_parser = sub.add_parser("draw", help="ASCII-render a program")
+    draw_parser.add_argument(
+        "program", help="Table I benchmark name or OpenQASM 2 file path"
+    )
+    return parser
+
+
+def _command_compile(args: argparse.Namespace) -> int:
+    context = _make_context(args)
+    program = _load_program(args.program)
+    compiled = transpile(program, context.device, context.calibration)
+    ideal = compiled.ideal_distribution()
+    print(
+        f"{program.name}: {compiled.num_cnot_sites} CNOT sites on "
+        f"{len(compiled.links_used())} links of {context.device.name}"
+    )
+    if args.policy == "angel":
+        angel = Angel(
+            context.device,
+            context.calibration,
+            AngelConfig(probe_shots=args.probe_shots, seed=args.seed),
+        )
+        result = angel.select(compiled)
+        sequence = result.sequence
+        print(
+            f"ANGEL: {result.copycats_executed} CopyCat probes; "
+            f"{result.reference_sequence.label()} -> {sequence.label()}"
+        )
+    elif args.policy == "baseline":
+        from .core import noise_adaptive_sequence
+
+        sequence = noise_adaptive_sequence(
+            compiled.sites, context.calibration, compiled.gate_options()
+        )
+        print(f"baseline (noise-adaptive): {sequence.label()}")
+    else:
+        sequence = NativeGateSequence.uniform(compiled.sites, args.policy)
+        print(f"fixed gate: {sequence.label()}")
+    native = compiled.nativized(sequence, name_suffix=f"_{args.policy}")
+    counts = context.device.run(native, args.shots)
+    sr = success_rate_from_counts(ideal, counts)
+    print(f"success rate over {args.shots} shots: {sr:.4f}")
+    if args.emit_qasm:
+        print()
+        print(to_qasm(native))
+    return 0
+
+
+def _command_device(args: argparse.Namespace) -> int:
+    context = _make_context(args)
+    result = run_experiment(
+        "fig17", context=context, max_links=args.max_links
+    )
+    print(result.to_text())
+    return 0
+
+
+def _command_suite() -> int:
+    print(f"{'name':12s} {'qubits':>6s} {'CNOTs':>6s}  description")
+    for spec in benchmark_suite(include_extras=True):
+        print(
+            f"{spec.name:12s} {spec.qubits:>6d} {spec.logical_cnots:>6d}"
+            f"  {spec.description}"
+        )
+    return 0
+
+
+def _command_draw(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    print(program.draw())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "compile":
+            return _command_compile(args)
+        if args.command == "experiments":
+            for experiment_id in args.ids:
+                print(run_experiment(experiment_id).to_text())
+                print()
+            return 0
+        if args.command == "device":
+            return _command_device(args)
+        if args.command == "suite":
+            return _command_suite()
+        if args.command == "draw":
+            return _command_draw(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - argparse enforces command choice
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""NISQ compilation pipeline: mapping, routing, scheduling, nativization.
+
+The pipeline matches paper Fig. 2(a): (1) qubit mapping, (2) scheduling
+and routing, (3) gate nativization — with nativization deliberately
+factored so a native gate *selection* (from any policy, including ANGEL)
+can be applied to the same routed program repeatedly.
+"""
+
+from .mapping import Layout, noise_adaptive_layout, trivial_layout
+from .nativization import (
+    CnotSite,
+    extract_cnot_sites,
+    nativize,
+    single_qubit_native,
+)
+from .passes import CompiledProgram, transpile
+from .routing import RoutedCircuit, route_circuit
+from .scheduling import ScheduleReport, asap_schedule, schedule_report
+
+__all__ = [
+    "Layout",
+    "trivial_layout",
+    "noise_adaptive_layout",
+    "RoutedCircuit",
+    "route_circuit",
+    "ScheduleReport",
+    "asap_schedule",
+    "schedule_report",
+    "CnotSite",
+    "extract_cnot_sites",
+    "nativize",
+    "single_qubit_native",
+    "CompiledProgram",
+    "transpile",
+]

@@ -1,0 +1,202 @@
+"""Gate nativization: decompose a routed circuit into native gates.
+
+This is the compilation stage ANGEL lives in (paper Fig. 10). The routed
+circuit's CNOT-bearing instructions (`cnot` and `swap`, the latter costing
+three CNOTs) define an ordered list of :class:`CnotSite`\\ s — the slots a
+:class:`~repro.core.sequence.NativeGateSequence` assigns native gates to.
+:func:`nativize` then rewrites the whole circuit into the Rigetti basis:
+
+* single-qubit gates -> ``RZ`` / ``RX(k*pi/2)`` via exact identities;
+* each CNOT site -> its assigned native-gate decomposition (Fig. 2c);
+* already-native two-qubit gates pass through.
+
+The same routed circuit nativized under different sequences yields the
+candidate executables ANGEL races against each other.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+from ..device.native_gates import (
+    NativeGateSet,
+    RIGETTI_NATIVE_GATES,
+    cnot_decomposition,
+    hadamard_native,
+    u3_native,
+)
+from ..device.topology import Link, make_link
+from ..exceptions import CompilationError
+
+__all__ = ["CnotSite", "extract_cnot_sites", "nativize", "single_qubit_native"]
+
+_HALF_PI = math.pi / 2.0
+
+
+@dataclass(frozen=True)
+class CnotSite:
+    """One CNOT slot in a routed circuit.
+
+    Attributes:
+        index: Sequential site number (program order, SWAPs expanded).
+        control / target: Physical qubit ids.
+        origin: ``"program"`` for explicit CNOTs, ``"swap"`` for the
+            three CNOTs a routed SWAP expands into.
+    """
+
+    index: int
+    control: int
+    target: int
+    origin: str = "program"
+
+    @property
+    def link(self) -> Link:
+        return make_link(self.control, self.target)
+
+
+def extract_cnot_sites(circuit: QuantumCircuit) -> List[CnotSite]:
+    """Enumerate the CNOT sites of a routed circuit, in program order.
+
+    SWAPs contribute three sites on the same link with alternating
+    direction (the standard CNOT-triple expansion).
+    """
+    sites: List[CnotSite] = []
+    for gate in circuit:
+        if gate.name == "cnot":
+            sites.append(
+                CnotSite(len(sites), gate.qubits[0], gate.qubits[1])
+            )
+        elif gate.name == "swap":
+            a, b = gate.qubits
+            for control, target in ((a, b), (b, a), (a, b)):
+                sites.append(
+                    CnotSite(len(sites), control, target, origin="swap")
+                )
+    return sites
+
+
+def single_qubit_native(gate: Gate) -> List[Gate]:
+    """Rewrite one single-qubit gate into {RZ, RX(k*pi/2)}.
+
+    Exact up to global phase for the whole gate vocabulary.
+    """
+    qubit = gate.qubits[0]
+    name = gate.name
+    if name == "id":
+        return []
+    if name == "rz":
+        return [gate]
+    if name in ("z", "s", "sdg", "t", "tdg", "phase"):
+        angle = {
+            "z": math.pi,
+            "s": _HALF_PI,
+            "sdg": -_HALF_PI,
+            "t": math.pi / 4.0,
+            "tdg": -math.pi / 4.0,
+        }.get(name)
+        if angle is None:  # phase(lambda) == rz(lambda) up to global phase
+            angle = gate.params[0]
+        return [Gate("rz", (qubit,), (angle,))]
+    if name == "x":
+        return [Gate("rx", (qubit,), (math.pi,))]
+    if name == "y":
+        # Y = Z . X up to phase: apply X then Z.
+        return [
+            Gate("rx", (qubit,), (math.pi,)),
+            Gate("rz", (qubit,), (math.pi,)),
+        ]
+    if name == "h":
+        return hadamard_native(qubit)
+    if name == "rx":
+        angle = gate.params[0]
+        ratio = angle / _HALF_PI
+        if abs(ratio - round(ratio)) < 1e-9:
+            if abs(angle) < 1e-12:
+                return []
+            return [gate]
+        # Arbitrary RX via U3(theta, -pi/2, pi/2).
+        return u3_native(angle, -_HALF_PI, _HALF_PI, qubit)
+    if name == "ry":
+        return u3_native(gate.params[0], 0.0, 0.0, qubit)
+    if name == "u3":
+        theta, phi, lam = gate.params
+        return u3_native(theta, phi, lam, qubit)
+    raise CompilationError(f"no nativization rule for 1q gate {gate.name!r}")
+
+
+def nativize(
+    circuit: QuantumCircuit,
+    site_gates: Mapping[int, str],
+    native_gates: NativeGateSet = RIGETTI_NATIVE_GATES,
+    name_suffix: str = "",
+) -> QuantumCircuit:
+    """Rewrite a routed circuit into native gates.
+
+    Args:
+        circuit: The routed physical circuit (cnot/swap plus 1q gates,
+            measurements, and possibly already-native 2q gates).
+        site_gates: Native gate name per CNOT site index — normally
+            ``sequence.as_site_map()`` from a
+            :class:`~repro.core.sequence.NativeGateSequence`.
+        native_gates: Target instruction set.
+        name_suffix: Appended to the circuit name (e.g. the sequence
+            label), so device logs identify which candidate ran.
+
+    Raises:
+        CompilationError: On a site index gap or an unsupported gate.
+    """
+    native = QuantumCircuit(
+        circuit.num_qubits,
+        name=circuit.name + name_suffix,
+    )
+    site_index = 0
+
+    def assigned(index: int) -> str:
+        try:
+            return site_gates[index]
+        except KeyError as exc:
+            raise CompilationError(
+                f"no native gate assigned to CNOT site {index}"
+            ) from exc
+
+    for gate in circuit:
+        if gate.is_barrier:
+            native.barrier()
+            continue
+        if gate.is_measurement:
+            native.append(gate)
+            continue
+        if gate.num_qubits == 1:
+            for rewritten in single_qubit_native(gate):
+                native.append(rewritten)
+            continue
+        if gate.name == "cnot":
+            for rewritten in cnot_decomposition(
+                assigned(site_index), gate.qubits[0], gate.qubits[1]
+            ):
+                native.append(rewritten)
+            site_index += 1
+            continue
+        if gate.name == "swap":
+            a, b = gate.qubits
+            for control, target in ((a, b), (b, a), (a, b)):
+                for rewritten in cnot_decomposition(
+                    assigned(site_index), control, target
+                ):
+                    native.append(rewritten)
+                site_index += 1
+            continue
+        if gate.name == "iswap":
+            native.append(Gate("xy", gate.qubits, (math.pi,)))
+            continue
+        if gate.name in native_gates.two_qubit:
+            native.append(gate)
+            continue
+        raise CompilationError(
+            f"no nativization rule for 2q gate {gate.name!r}"
+        )
+    return native

@@ -1,0 +1,258 @@
+"""SWAP routing: make every two-qubit gate act on a device link.
+
+The router walks the mapped circuit in order, maintaining a dynamic
+logical->physical assignment. When a two-qubit gate lands on non-adjacent
+physical qubits it inserts SWAPs along a shortest path (optionally
+weighted by calibrated link quality) until the operands are neighbors,
+then emits the gate — the textbook greedy scheme the paper assumes as its
+"scheduling and routing" stage (Section II-C). ANGEL itself is
+routing-agnostic: it consumes whatever routed circuit comes out.
+
+Measurements are re-emitted at the end through the *final* assignment so
+output bit order always matches the logical program's measurement order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+from ..device.calibration import CalibrationData
+from ..device.topology import Topology, make_link
+from ..exceptions import CompilationError
+from .mapping import Layout
+
+__all__ = ["RoutedCircuit", "route_circuit"]
+
+
+@dataclass(frozen=True)
+class RoutedCircuit:
+    """Routing output.
+
+    Attributes:
+        circuit: Physical-qubit circuit; all two-qubit gates on links;
+            measurements appended in logical order.
+        initial_layout: The layout routing started from.
+        final_physical: ``final_physical[logical]`` is where each logical
+            qubit ended up after the inserted SWAPs.
+        swap_count: SWAP instructions inserted.
+    """
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_physical: Tuple[int, ...]
+    swap_count: int
+
+
+def _link_weights(
+    topology: Topology, calibration: Optional[CalibrationData]
+) -> Dict[Tuple[int, int], float]:
+    """Edge weights for path search: -log(best calibrated fidelity)."""
+    weights: Dict[Tuple[int, int], float] = {}
+    for link in topology.links:
+        weight = 1.0
+        if calibration is not None:
+            gates = calibration.gates_calibrated_on(link)
+            if gates:
+                best = max(
+                    calibration.two_qubit_fidelity(link, g) for g in gates
+                )
+                weight = 1.0 + max(0.0, -math.log(max(best, 1e-6)))
+        weights[link] = weight
+    return weights
+
+
+#: Upcoming two-qubit gates the lookahead strategy scores against.
+_LOOKAHEAD_WINDOW = 5
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    topology: Topology,
+    layout: Layout,
+    calibration: Optional[CalibrationData] = None,
+    strategy: str = "greedy",
+) -> RoutedCircuit:
+    """Route a logical circuit onto the topology starting from *layout*.
+
+    Args:
+        circuit: The logical program (may include measurements; they are
+            collected and re-emitted at the end in logical order).
+        topology: Target connectivity.
+        layout: Initial logical->physical assignment.
+        calibration: If given, SWAP paths prefer well-calibrated links
+            (noise-adaptive routing); otherwise hop count decides.
+        strategy: ``"greedy"`` moves the first operand along a shortest
+            path (the default, and what the layout permutation search
+            models). ``"lookahead"`` scores each candidate SWAP against
+            the next few two-qubit gates (SABRE-style) and can avoid the
+            greedy router's ping-ponging on interleaved gate patterns.
+
+    Raises:
+        CompilationError: If operands can never be adjacent (disconnected
+            topology region), or on an unknown strategy.
+    """
+    if strategy not in ("greedy", "lookahead"):
+        raise CompilationError(f"unknown routing strategy {strategy!r}")
+    if len(layout) < circuit.num_qubits:
+        raise CompilationError("layout narrower than the program")
+
+    graph = nx.Graph()
+    graph.add_nodes_from(topology.qubits)
+    weights = _link_weights(topology, calibration)
+    for link, weight in weights.items():
+        graph.add_edge(*link, weight=weight)
+
+    phys_of: Dict[int, int] = {
+        logical: layout.phys(logical) for logical in range(circuit.num_qubits)
+    }
+    logical_of: Dict[int, int] = {p: l for l, p in phys_of.items()}
+
+    width = max(topology.qubits) + 1
+    routed = QuantumCircuit(width, name=circuit.name)
+    measured_logical: List[int] = []
+    swap_count = 0
+
+    distance: Dict[int, Dict[int, int]] = {}
+    two_qubit_schedule: List[Tuple[int, Tuple[int, int]]] = []
+    if strategy == "lookahead":
+        distance = {
+            source: dict(lengths)
+            for source, lengths in nx.all_pairs_shortest_path_length(graph)
+        }
+        two_qubit_schedule = [
+            (index, (g.qubits[0], g.qubits[1]))
+            for index, g in enumerate(circuit)
+            if g.is_unitary and g.num_qubits == 2
+        ]
+
+    def apply_swap(phys_a: int, phys_b: int) -> None:
+        nonlocal swap_count
+        routed.append(Gate("swap", (phys_a, phys_b)))
+        swap_count += 1
+        la = logical_of.get(phys_a)
+        lb = logical_of.get(phys_b)
+        if la is not None:
+            phys_of[la] = phys_b
+        if lb is not None:
+            phys_of[lb] = phys_a
+        logical_of.pop(phys_a, None)
+        logical_of.pop(phys_b, None)
+        if la is not None:
+            logical_of[phys_b] = la
+        if lb is not None:
+            logical_of[phys_a] = lb
+
+    def lookahead_score(
+        swap_pair: Tuple[int, int], upcoming: List[Tuple[int, int]]
+    ) -> float:
+        """Discounted sum of operand distances after a candidate swap."""
+        trial = dict(phys_of)
+        trial_logical = {p: l for l, p in trial.items()}
+        la = trial_logical.get(swap_pair[0])
+        lb = trial_logical.get(swap_pair[1])
+        if la is not None:
+            trial[la] = swap_pair[1]
+        if lb is not None:
+            trial[lb] = swap_pair[0]
+        score = 0.0
+        discount = 1.0
+        for log_a, log_b in upcoming:
+            hops = distance.get(trial[log_a], {}).get(trial[log_b])
+            if hops is None:
+                return math.inf  # disconnected: never pick this swap
+            score += discount * hops
+            discount *= 0.7
+        return score
+
+    def route_with_lookahead(gate: Gate, gate_index: int) -> None:
+        nonlocal swap_count
+        upcoming = [
+            pair
+            for index, pair in two_qubit_schedule
+            if index >= gate_index
+        ][:_LOOKAHEAD_WINDOW]
+        safety = 0
+        while not topology.has_link(
+            phys_of[gate.qubits[0]], phys_of[gate.qubits[1]]
+        ):
+            best_pair: Optional[Tuple[int, int]] = None
+            best_score = math.inf
+            for logical in gate.qubits:
+                phys = phys_of[logical]
+                for neighbour in topology.neighbors(phys):
+                    pair = (phys, neighbour)
+                    score = lookahead_score(pair, upcoming)
+                    if score < best_score - 1e-12 or (
+                        abs(score - best_score) <= 1e-12
+                        and best_pair is not None
+                        and pair < best_pair
+                    ):
+                        best_pair = pair
+                        best_score = score
+            if best_pair is None:  # pragma: no cover - connected graphs
+                raise CompilationError(f"cannot route {gate}")
+            apply_swap(*best_pair)
+            safety += 1
+            if safety > 4 * topology.num_qubits:
+                raise CompilationError(
+                    f"lookahead routing did not converge for {gate}"
+                )
+
+    for gate_index, gate in enumerate(circuit):
+        if gate.is_barrier:
+            routed.barrier()
+            continue
+        if gate.is_measurement:
+            if gate.qubits[0] not in measured_logical:
+                measured_logical.append(gate.qubits[0])
+            continue
+        if gate.num_qubits == 1:
+            routed.append(gate.remap([phys_of[q] for q in range(circuit.num_qubits)]))
+            continue
+        if gate.num_qubits != 2:
+            raise CompilationError(f"cannot route {gate.num_qubits}-qubit gate")
+        phys_a = phys_of[gate.qubits[0]]
+        phys_b = phys_of[gate.qubits[1]]
+        if not topology.has_link(phys_a, phys_b):
+            if strategy == "lookahead":
+                route_with_lookahead(gate, gate_index)
+            else:
+                try:
+                    path = nx.shortest_path(
+                        graph, phys_a, phys_b, weight="weight"
+                    )
+                except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                    raise CompilationError(
+                        f"cannot route {gate}: no path {phys_a}->{phys_b}"
+                    ) from exc
+                # Swap the first operand along the path until adjacent.
+                for hop in path[1:-1]:
+                    apply_swap(phys_of[gate.qubits[0]], hop)
+            phys_a = phys_of[gate.qubits[0]]
+            phys_b = phys_of[gate.qubits[1]]
+            if not topology.has_link(phys_a, phys_b):  # pragma: no cover
+                raise CompilationError(f"routing failed to join {gate}")
+        routed.append(
+            Gate(gate.name, (phys_a, phys_b), gate.params)
+        )
+
+    if not measured_logical:
+        measured_logical = list(range(circuit.num_qubits))
+    for logical in measured_logical:
+        routed.measure(phys_of[logical])
+
+    final_physical = tuple(
+        phys_of[logical] for logical in range(circuit.num_qubits)
+    )
+    return RoutedCircuit(
+        circuit=routed,
+        initial_layout=layout,
+        final_physical=final_physical,
+        swap_count=swap_count,
+    )

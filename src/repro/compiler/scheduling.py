@@ -1,0 +1,72 @@
+"""ASAP scheduling and timing analysis of routed circuits.
+
+Scheduling does not change semantics — it canonicalizes instruction order
+into moment order and reports timing (duration, per-qubit idle time).
+ANGEL operates on the scheduled-and-routed program (paper Fig. 10), and
+the idle report feeds the device's duration accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import Moment, circuit_moments
+
+__all__ = ["ScheduleReport", "asap_schedule", "schedule_report"]
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Timing summary of a scheduled circuit.
+
+    Attributes:
+        num_moments: Depth in moments.
+        gates_per_moment: Instruction count per moment.
+        busy_moments_per_qubit: For each qubit, moments in which it is
+            acted on — the complement is idle time (ADAPT territory; we
+            report it for completeness).
+    """
+
+    num_moments: int
+    gates_per_moment: Tuple[int, ...]
+    busy_moments_per_qubit: Dict[int, int]
+
+    def idle_fraction(self, qubit: int) -> float:
+        if self.num_moments == 0:
+            return 0.0
+        busy = self.busy_moments_per_qubit.get(qubit, 0)
+        return 1.0 - busy / self.num_moments
+
+
+def asap_schedule(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Return the circuit with instructions re-emitted in moment order.
+
+    The result is observationally identical (same DAG), but iteration
+    order equals execution order, which simplifies CopyCat construction
+    and experiment logging.
+    """
+    scheduled = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    placed = set()
+    for moment in circuit_moments(circuit):
+        for index, gate in moment.items:
+            scheduled.append(gate)
+            placed.add(index)
+    # Barriers are dropped by the moment view; semantics preserved since
+    # moment order already respects them.
+    return scheduled
+
+
+def schedule_report(circuit: QuantumCircuit) -> ScheduleReport:
+    """Compute moment statistics for a circuit."""
+    moments = circuit_moments(circuit)
+    busy: Dict[int, int] = {}
+    for moment in moments:
+        for qubit in moment.qubits():
+            busy[qubit] = busy.get(qubit, 0) + 1
+    return ScheduleReport(
+        num_moments=len(moments),
+        gates_per_moment=tuple(len(m.items) for m in moments),
+        busy_moments_per_qubit=busy,
+    )

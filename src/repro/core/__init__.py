@@ -1,0 +1,42 @@
+"""ANGEL — the paper's primary contribution.
+
+* :mod:`~repro.core.sequence` — native gate sequences and enumeration;
+* :mod:`~repro.core.copycat` — Clifford-dominated program imitations;
+* :mod:`~repro.core.policies` — baseline noise-adaptive / random /
+  runtime-best selection;
+* :mod:`~repro.core.search` — the localized mass-replacement search;
+* :mod:`~repro.core.angel` — the end-to-end framework facade.
+"""
+
+from .angel import Angel, AngelConfig, AngelResult
+from .cdr import CdrFit, CliffordDataRegression, parity_expectation
+from .copycat import DEFAULT_NON_CLIFFORD_BUDGET, CopyCat, build_copycat
+from .policies import (
+    SequenceEvaluation,
+    noise_adaptive_sequence,
+    random_sequence,
+    runtime_best,
+)
+from .search import ProbeRecord, SearchTrace, localized_search
+from .sequence import NativeGateSequence, enumerate_sequences
+
+__all__ = [
+    "Angel",
+    "CliffordDataRegression",
+    "CdrFit",
+    "parity_expectation",
+    "AngelConfig",
+    "AngelResult",
+    "CopyCat",
+    "build_copycat",
+    "DEFAULT_NON_CLIFFORD_BUDGET",
+    "NativeGateSequence",
+    "enumerate_sequences",
+    "noise_adaptive_sequence",
+    "random_sequence",
+    "runtime_best",
+    "SequenceEvaluation",
+    "localized_search",
+    "SearchTrace",
+    "ProbeRecord",
+]

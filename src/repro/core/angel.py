@@ -1,0 +1,234 @@
+"""The ANGEL framework facade (paper Section IV).
+
+:class:`Angel` wires the pieces together, step for step with Fig. 11:
+
+1. build a CopyCat of the scheduled-and-routed program;
+2. initialize the reference sequence noise-adaptively from calibration;
+3. generate per-link mass-replacement candidates;
+4. probe each candidate by nativizing the *CopyCat* under it and running
+   it on the device, continuously updating the reference;
+5. nativize the *input program* with the learned sequence.
+
+Probing runs ``1 + 2L`` CopyCats for a program using ``L`` links with all
+three natives available (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..compiler.passes import CompiledProgram, transpile
+from ..device.calibration import CalibrationData
+from ..device.device import RigettiAspenDevice
+from ..device.topology import Link
+from ..exceptions import SearchError
+from ..metrics import success_rate_from_counts
+from .copycat import DEFAULT_NON_CLIFFORD_BUDGET, CopyCat, build_copycat
+from .policies import noise_adaptive_sequence, random_sequence
+from .search import SearchTrace, localized_search
+from .sequence import NativeGateSequence
+
+__all__ = ["AngelConfig", "AngelResult", "Angel"]
+
+
+@dataclass(frozen=True)
+class AngelConfig:
+    """Tunables of the ANGEL framework.
+
+    Attributes:
+        probe_shots: Shots per CopyCat probe execution.
+        max_non_clifford: Initial-layer non-Clifford retention budget.
+        exclude_hadamard_like: Exclude H-like Clifford replacements.
+        reference: ``"noise_adaptive"`` (default, paper Step 2) or
+            ``"random"`` (the Fig. 20 ablation).
+        link_order: ``"program"`` (default) or ``"random"`` — candidate
+            generation order (Step 3 notes program order keeps the
+            design simple; the ablation bench explores the alternative).
+        max_passes: Link sweeps to run; 1 is the paper's algorithm,
+            more passes extend the search (Section VI-E limitation 1).
+        seed: Seed for probe sampling and any randomized choices.
+    """
+
+    probe_shots: int = 1024
+    max_non_clifford: int = DEFAULT_NON_CLIFFORD_BUDGET
+    exclude_hadamard_like: bool = True
+    reference: str = "noise_adaptive"
+    link_order: str = "program"
+    max_passes: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.probe_shots < 1:
+            raise SearchError("probe_shots must be positive")
+        if self.max_passes < 1:
+            raise SearchError("max_passes must be at least 1")
+        if self.reference not in ("noise_adaptive", "random"):
+            raise SearchError(f"unknown reference policy {self.reference!r}")
+        if self.link_order not in ("program", "random"):
+            raise SearchError(f"unknown link order {self.link_order!r}")
+
+
+@dataclass
+class AngelResult:
+    """Everything ANGEL learned about one program.
+
+    Attributes:
+        sequence: The learned (optimal) native gate sequence.
+        reference_sequence: Where the search started.
+        copycat: The probe circuit used.
+        copycat_ideal: The CopyCat's classically computed distribution.
+        trace: Full probe audit trail.
+        copycats_executed: Number of device jobs spent probing
+            (``1 + 2L`` with all gates available).
+    """
+
+    sequence: NativeGateSequence
+    reference_sequence: NativeGateSequence
+    copycat: CopyCat
+    copycat_ideal: Dict[str, float]
+    trace: SearchTrace
+    copycats_executed: int
+
+
+class Angel:
+    """Application-specific Native Gate Selection.
+
+    Args:
+        device: The NISQ device probes and final programs run on.
+        calibration: Vendor calibration data (reference initialization;
+            possibly stale — that is the point).
+        config: Framework tunables.
+    """
+
+    def __init__(
+        self,
+        device: RigettiAspenDevice,
+        calibration: CalibrationData,
+        config: Optional[AngelConfig] = None,
+    ) -> None:
+        self.device = device
+        self.calibration = calibration
+        self.config = config or AngelConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def select(self, compiled: CompiledProgram) -> AngelResult:
+        """Learn the optimal native gate sequence for a compiled program.
+
+        Runs Steps 1-4 of Fig. 11. The input program itself is *not*
+        executed — only its CopyCat is.
+        """
+        if compiled.num_cnot_sites == 0:
+            raise SearchError(
+                "program has no CNOT sites; nothing to select"
+            )
+        copycat = build_copycat(
+            compiled.scheduled,
+            max_non_clifford=self.config.max_non_clifford,
+            exclude_hadamard_like=self.config.exclude_hadamard_like,
+        )
+        copycat_ideal = copycat.ideal_distribution()
+        gate_options = compiled.gate_options()
+
+        reference = self._initial_reference(compiled, gate_options)
+        link_order = self._link_order(reference)
+
+        probes_run = 0
+
+        def probe(sequence: NativeGateSequence) -> float:
+            nonlocal probes_run
+            # Nativize the CopyCat circuit itself under the candidate
+            # sequence (identical CNOT skeleton -> identical site map).
+            probe_circuit = _nativize_copycat(
+                compiled, copycat, sequence, probes_run
+            )
+            counts = self.device.run(
+                probe_circuit,
+                self.config.probe_shots,
+                seed=int(self._rng.integers(2**31)),
+            )
+            probes_run += 1
+            return success_rate_from_counts(copycat_ideal, counts)
+
+        best, trace = localized_search(
+            probe,
+            reference,
+            gate_options,
+            link_order=link_order,
+            max_passes=self.config.max_passes,
+        )
+        return AngelResult(
+            sequence=best,
+            reference_sequence=reference,
+            copycat=copycat,
+            copycat_ideal=copycat_ideal,
+            trace=trace,
+            copycats_executed=probes_run,
+        )
+
+    def compile_and_select(
+        self, circuit: QuantumCircuit
+    ) -> Tuple[CompiledProgram, AngelResult]:
+        """Convenience: transpile then select in one call."""
+        compiled = transpile(circuit, self.device, self.calibration)
+        return compiled, self.select(compiled)
+
+    def nativize(
+        self, compiled: CompiledProgram, result: AngelResult
+    ) -> QuantumCircuit:
+        """Step 5: nativize the input program with the learned sequence."""
+        return compiled.nativized(result.sequence, name_suffix="_angel")
+
+    # ------------------------------------------------------------------
+    def expected_probe_count(self, compiled: CompiledProgram) -> int:
+        """The ``1 + sum(|options|-1)`` probe budget (Table II)."""
+        options = compiled.gate_options()
+        return 1 + sum(
+            len(options[link]) - 1 for link in compiled.links_used()
+        )
+
+    def _initial_reference(
+        self,
+        compiled: CompiledProgram,
+        gate_options: Mapping[Link, Sequence[str]],
+    ) -> NativeGateSequence:
+        if self.config.reference == "random":
+            return random_sequence(compiled.sites, gate_options, self._rng)
+        return noise_adaptive_sequence(
+            compiled.sites, self.calibration, gate_options
+        )
+
+    def _link_order(
+        self, reference: NativeGateSequence
+    ) -> Optional[List[Link]]:
+        if self.config.link_order == "random":
+            links = reference.links_used()
+            order = list(links)
+            self._rng.shuffle(order)
+            return order
+        return None  # program order (default inside the search)
+
+
+def _nativize_copycat(
+    compiled: CompiledProgram,
+    copycat: CopyCat,
+    sequence: NativeGateSequence,
+    probe_number: int,
+) -> QuantumCircuit:
+    """Nativize the CopyCat circuit under a candidate sequence.
+
+    The CopyCat shares the program's CNOT skeleton, so its site indices
+    coincide with the compiled program's and the same sequence applies.
+    """
+    from ..compiler.nativization import nativize
+
+    return nativize(
+        copycat.circuit,
+        sequence.as_site_map(),
+        native_gates=compiled.device.native_gates,
+        name_suffix=f"_probe{probe_number}",
+    )

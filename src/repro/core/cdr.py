@@ -1,0 +1,209 @@
+"""Clifford Data Regression (CDR) — the paper's Section VII-B comparator.
+
+CDR (Czarnik et al., Quantum 5, 592) mitigates errors by *post-
+processing*: run near-Clifford training circuits whose ideal results are
+classically computable, fit a linear map from noisy to ideal
+expectation values, and apply the map to the target program's noisy
+result. The paper contrasts it with ANGEL (which improves the circuit
+itself, before execution) and proposes composing them as future work:
+"we expect ANGEL can further improve the effectiveness of CDR". This
+module implements CDR so that composition is measurable (see
+``benchmarks/bench_extension_cdr.py``).
+
+Training circuits are built like CopyCats, but with *randomized* Clifford
+substitutions: each non-Clifford single-qubit gate is replaced by a
+group element sampled with probability ``exp(-distance / sigma)`` so the
+training set clusters around the target circuit while spanning enough
+variation to fit the regression.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.clifford import single_qubit_clifford_group
+from ..circuit.gates import Gate
+from ..compiler.nativization import nativize
+from ..compiler.passes import CompiledProgram
+from ..exceptions import SearchError
+from ..linalg import phase_invariant_distance
+from ..sim.stabilizer import StabilizerSimulator
+from ..sim.statevector import StatevectorSimulator
+from .copycat import _snap_two_qubit
+from .sequence import NativeGateSequence
+
+__all__ = ["parity_expectation", "CdrFit", "CliffordDataRegression"]
+
+
+def parity_expectation(distribution: Mapping[str, float]) -> float:
+    """The Z...Z parity ``sum_x (-1)^{|x|} p(x)`` of a distribution.
+
+    The observable CDR corrects here: diagonal, computable from counts,
+    and sensitive to the bit-flip-like errors nativization choices
+    modulate.
+    """
+    total = 0.0
+    for bitstring, prob in distribution.items():
+        sign = -1.0 if bitstring.count("1") % 2 else 1.0
+        total += sign * prob
+    return total
+
+
+@dataclass(frozen=True)
+class CdrFit:
+    """A fitted noisy->ideal linear map with its training data."""
+
+    slope: float
+    intercept: float
+    training_noisy: Tuple[float, ...]
+    training_ideal: Tuple[float, ...]
+
+    def mitigate(self, noisy_value: float) -> float:
+        """Apply the regression; clipped to the physical range [-1, 1]."""
+        corrected = self.slope * noisy_value + self.intercept
+        return float(max(-1.0, min(1.0, corrected)))
+
+
+class CliffordDataRegression:
+    """CDR mitigation for parity expectations of compiled programs.
+
+    Args:
+        device: The device training and target circuits run on.
+        num_training: Training circuits to generate.
+        shots: Shots per training-circuit execution.
+        sigma: Substitution temperature — small values keep training
+            circuits near the target (operator-norm distance weighting).
+        seed: Sampling seed.
+    """
+
+    def __init__(
+        self,
+        device,
+        num_training: int = 16,
+        shots: int = 1024,
+        sigma: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if num_training < 2:
+            raise SearchError("CDR needs at least two training circuits")
+        self.device = device
+        self.num_training = num_training
+        self.shots = shots
+        self.sigma = sigma
+        self._rng = np.random.default_rng(seed)
+        self._group = [
+            element
+            for element in single_qubit_clifford_group()
+            if not element.hadamard_like
+        ]
+
+    # ------------------------------------------------------------------
+    def _sample_replacement(self, gate: Gate) -> List[Gate]:
+        """A random Clifford replacement, weighted toward proximity."""
+        matrix = gate.matrix()
+        distances = np.array(
+            [
+                phase_invariant_distance(matrix, element.matrix)
+                for element in self._group
+            ]
+        )
+        weights = np.exp(-distances / max(self.sigma, 1e-6))
+        weights /= weights.sum()
+        choice = int(self._rng.choice(len(self._group), p=weights))
+        return self._group[choice].gates(gate.qubits[0])
+
+    def _training_circuit(self, circuit: QuantumCircuit, index: int) -> QuantumCircuit:
+        """One near-Clifford training variant of the routed circuit."""
+        training = QuantumCircuit(
+            circuit.num_qubits, name=f"{circuit.name}_cdr{index}"
+        )
+        for gate in circuit:
+            if gate.is_barrier:
+                training.barrier()
+            elif not gate.is_unitary or gate.is_clifford:
+                training.append(gate)
+            elif gate.num_qubits == 1:
+                for replacement in self._sample_replacement(gate):
+                    training.append(replacement)
+            else:
+                training.append(_snap_two_qubit(gate))
+        return training
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        compiled: CompiledProgram,
+        sequence: NativeGateSequence,
+    ) -> CdrFit:
+        """Fit the noisy->ideal map for one program + native sequence.
+
+        Every training circuit is nativized under the *same* sequence as
+        the target, so the regression learns exactly the noise
+        environment the target will face — this is where a better
+        nativization (ANGEL's) directly improves CDR's training data.
+        """
+        noisy_values: List[float] = []
+        ideal_values: List[float] = []
+        stabilizer = StabilizerSimulator()
+        for index in range(self.num_training):
+            training = self._training_circuit(compiled.scheduled, index)
+            compact, _ = training.compacted()
+            if compact.is_clifford():
+                ideal = stabilizer.distribution(compact)
+            else:  # pragma: no cover - snap rules make this unreachable
+                ideal = StatevectorSimulator().distribution(compact)
+            native = nativize(
+                training,
+                sequence.as_site_map(),
+                native_gates=self.device.native_gates,
+            )
+            counts = self.device.run(
+                native, self.shots, seed=int(self._rng.integers(2**31))
+            )
+            total = sum(counts.values())
+            noisy = parity_expectation(
+                {k: v / total for k, v in counts.items()}
+            )
+            noisy_values.append(noisy)
+            ideal_values.append(parity_expectation(ideal))
+        slope, intercept = _least_squares(noisy_values, ideal_values)
+        return CdrFit(
+            slope=slope,
+            intercept=intercept,
+            training_noisy=tuple(noisy_values),
+            training_ideal=tuple(ideal_values),
+        )
+
+    def mitigated_expectation(
+        self,
+        compiled: CompiledProgram,
+        sequence: NativeGateSequence,
+        target_shots: int = 4096,
+    ) -> Tuple[float, float, CdrFit]:
+        """Run the target and return (raw, mitigated, fit)."""
+        fit = self.fit(compiled, sequence)
+        native = compiled.nativized(sequence, name_suffix="_cdr_target")
+        counts = self.device.run(
+            native, target_shots, seed=int(self._rng.integers(2**31))
+        )
+        total = sum(counts.values())
+        raw = parity_expectation({k: v / total for k, v in counts.items()})
+        return raw, fit.mitigate(raw), fit
+
+
+def _least_squares(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:
+    """Ordinary least squares y = a*x + b, degenerate-safe."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    var = np.var(x_arr)
+    if var < 1e-12:
+        # All training points identical: identity map with offset.
+        return 1.0, float(np.mean(y_arr) - np.mean(x_arr))
+    slope = float(np.cov(x_arr, y_arr, bias=True)[0, 1] / var)
+    intercept = float(np.mean(y_arr) - slope * np.mean(x_arr))
+    return slope, intercept

@@ -1,0 +1,185 @@
+"""CopyCat construction (paper Section IV-E, Step 1).
+
+A CopyCat imitates a routed program's structure — identical CNOT/SWAP
+skeleton, hence identical CNOT sites — while being classically
+simulable:
+
+* every non-Clifford single-qubit gate is replaced by its nearest
+  Clifford under the operator norm (Eq. 1), excluding Hadamard-like
+  elements, which would push the probe state toward a flat, selection-
+  insensitive distribution;
+* except that up to ``max_non_clifford`` non-Clifford gates in the
+  circuit's *initial layer* are retained verbatim, keeping the probe
+  state structured (the refinement of Fig. 13, bounded at 20 to keep the
+  classical simulation tractable);
+* non-Clifford *two-qubit* rotations (e.g. a raw ``CPHASE(0.3)``) snap to
+  the nearest Clifford member of their own family.
+
+The CopyCat's ideal output is computed on the stabilizer backend when it
+is pure Clifford (poly-time — the paper's scalability claim) and on the
+statevector backend when initial-layer non-Cliffords were kept.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.clifford import clifford_replacement_gates
+from ..circuit.dag import first_layer_indices
+from ..circuit.gates import Gate
+from ..exceptions import CircuitError
+from ..sim.stabilizer import StabilizerSimulator
+from ..sim.statevector import StatevectorSimulator
+
+__all__ = ["CopyCat", "build_copycat"]
+
+#: The paper's tractability budget for retained non-Clifford gates.
+DEFAULT_NON_CLIFFORD_BUDGET = 20
+
+
+@dataclass(frozen=True)
+class CopyCat:
+    """A program's Clifford-dominated imitation.
+
+    Attributes:
+        circuit: The CopyCat circuit (same register and CNOT sites as the
+            source routed circuit).
+        source_name: Name of the imitated circuit.
+        replaced: ``(instruction index in source, original gate,
+            replacement gates)`` for every substitution performed.
+        retained_non_clifford: Source instruction indices whose
+            non-Clifford gate was kept (initial layer, within budget).
+        total_replacement_distance: Sum of operator-norm distances of all
+            substitutions — a crude imitation-quality figure (0 for an
+            already-Clifford program).
+    """
+
+    circuit: QuantumCircuit
+    source_name: str
+    replaced: Tuple[Tuple[int, Gate, Tuple[Gate, ...]], ...]
+    retained_non_clifford: Tuple[int, ...]
+    total_replacement_distance: float
+
+    @property
+    def is_pure_clifford(self) -> bool:
+        return not self.retained_non_clifford
+
+    def ideal_distribution(self) -> Dict[str, float]:
+        """Noise-free output distribution of the CopyCat.
+
+        Pure-Clifford CopyCats use the stabilizer simulator; otherwise
+        the (compacted) statevector simulator. Keys align with device
+        output bit order because measurement order is preserved.
+        """
+        compact, _ = self.circuit.compacted()
+        if compact.is_clifford():
+            return StabilizerSimulator().distribution(compact)
+        return StatevectorSimulator().distribution(compact)
+
+
+def build_copycat(
+    circuit: QuantumCircuit,
+    max_non_clifford: int = DEFAULT_NON_CLIFFORD_BUDGET,
+    exclude_hadamard_like: bool = True,
+    fixed_replacement: Optional[str] = None,
+) -> CopyCat:
+    """Derive the CopyCat of a (routed, pre-nativization) circuit.
+
+    Args:
+        circuit: The scheduled routed program. Its two-qubit skeleton
+            (cnot/swap/cz/...) is preserved exactly so CNOT sites match.
+        max_non_clifford: Budget of initial-layer non-Clifford gates kept
+            verbatim. ``0`` yields a Clifford-only CopyCat (paper
+            Fig. 13b).
+        exclude_hadamard_like: Exclude superposition-creating Cliffords
+            from the replacement candidates (paper's "does not utilize
+            the H").
+        fixed_replacement: Replace *every* non-Clifford single-qubit gate
+            with this named gate instead of the nearest Clifford — used
+            by the Fig. 12 study of replacement quality (X/Z/S CopyCats).
+
+    Raises:
+        CircuitError: If a non-Clifford two-qubit gate has no snap rule.
+    """
+    if max_non_clifford < 0:
+        raise CircuitError("max_non_clifford must be non-negative")
+    keep_budget = 0 if fixed_replacement is not None else max_non_clifford
+    initial_layer = set(first_layer_indices(circuit))
+
+    copycat = QuantumCircuit(
+        circuit.num_qubits, name=f"{circuit.name}_copycat"
+    )
+    replaced: List[Tuple[int, Gate, Tuple[Gate, ...]]] = []
+    retained: List[int] = []
+    total_distance = 0.0
+
+    for index, gate in enumerate(circuit):
+        if gate.is_barrier or gate.is_measurement or gate.is_clifford:
+            if gate.is_barrier:
+                copycat.barrier()
+            else:
+                copycat.append(gate)
+            continue
+        # Non-Clifford unitary.
+        if gate.num_qubits == 1:
+            if index in initial_layer and len(retained) < keep_budget:
+                retained.append(index)
+                copycat.append(gate)
+                continue
+            if fixed_replacement is not None:
+                replacement = [Gate(fixed_replacement, gate.qubits)]
+                from ..linalg import phase_invariant_distance
+
+                distance = phase_invariant_distance(
+                    gate.matrix(), replacement[0].matrix()
+                )
+            else:
+                replacement, distance = clifford_replacement_gates(
+                    gate, exclude_hadamard_like=exclude_hadamard_like
+                )
+            for new_gate in replacement:
+                copycat.append(new_gate)
+            replaced.append((index, gate, tuple(replacement)))
+            total_distance += distance
+            continue
+        if gate.num_qubits == 2:
+            snapped = _snap_two_qubit(gate)
+            copycat.append(snapped)
+            replaced.append((index, gate, (snapped,)))
+            total_distance += _two_qubit_snap_distance(gate, snapped)
+            continue
+        raise CircuitError(f"cannot CopyCat {gate.num_qubits}-qubit gate")
+
+    return CopyCat(
+        circuit=copycat,
+        source_name=circuit.name,
+        replaced=tuple(replaced),
+        retained_non_clifford=tuple(retained),
+        total_replacement_distance=total_distance,
+    )
+
+
+def _snap_two_qubit(gate: Gate) -> Gate:
+    """Snap a non-Clifford two-qubit rotation to its family's Clifford.
+
+    ``CPHASE(theta)`` -> CZ if theta is nearer pi (mod 2pi) than 0, else
+    identity is expressed as ``CPHASE(0)``; ``XY(theta)`` analogously to
+    iSWAP/identity.
+    """
+    if gate.name in ("cphase", "xy"):
+        theta = math.remainder(gate.params[0], 2 * math.pi)
+        target = math.pi if abs(theta) > math.pi / 2 else 0.0
+        target = math.copysign(target, theta) if target else 0.0
+        return Gate(gate.name, gate.qubits, (target,))
+    raise CircuitError(
+        f"no Clifford snap rule for two-qubit gate {gate.name!r}"
+    )
+
+
+def _two_qubit_snap_distance(original: Gate, snapped: Gate) -> float:
+    from ..linalg import phase_invariant_distance
+
+    return phase_invariant_distance(original.matrix(), snapped.matrix())

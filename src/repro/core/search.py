@@ -1,0 +1,158 @@
+"""ANGEL's localized search (paper Section IV-E, Steps 2-4).
+
+The search is generic over a *probe*: a callable that executes a
+candidate sequence (as a CopyCat, in ANGEL's case) and returns its
+success rate. This keeps the algorithm testable with synthetic
+objectives and reusable with other probe circuits.
+
+Algorithm (complexity ``1 + sum_links (|options|-1)`` probes, i.e.
+``1 + 2L`` with three natives — Table II's ANGEL column):
+
+1. Probe the initial *reference* sequence (noise-adaptive by default).
+2. Visit each used link once, in program order. For each alternative
+   native gate on that link, probe the sequence with a *mass
+   replacement* (all sites on the link switch together).
+3. *Continuous update*: if any candidate beats the current reference,
+   adopt it immediately, so later links are evaluated in the context of
+   earlier wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..device.topology import Link
+from ..exceptions import SearchError
+from .sequence import NativeGateSequence
+
+__all__ = ["ProbeRecord", "SearchTrace", "localized_search"]
+
+ProbeFunction = Callable[[NativeGateSequence], float]
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One probe execution during the search."""
+
+    sequence: NativeGateSequence
+    success_rate: float
+    link: Optional[Link]
+    role: str  # "reference" | "candidate"
+    accepted: bool
+
+
+@dataclass
+class SearchTrace:
+    """Full audit trail of a localized search."""
+
+    probes: List[ProbeRecord] = field(default_factory=list)
+    reference_history: List[NativeGateSequence] = field(default_factory=list)
+
+    @property
+    def num_probes(self) -> int:
+        return len(self.probes)
+
+    @property
+    def num_updates(self) -> int:
+        """How many times the reference was replaced."""
+        return sum(1 for p in self.probes if p.accepted and p.role == "candidate")
+
+    def best(self) -> ProbeRecord:
+        if not self.probes:
+            raise SearchError("empty search trace")
+        return max(self.probes, key=lambda p: p.success_rate)
+
+
+def localized_search(
+    probe: ProbeFunction,
+    initial: NativeGateSequence,
+    gate_options: Mapping[Link, Sequence[str]],
+    link_order: Optional[Sequence[Link]] = None,
+    max_passes: int = 1,
+) -> Tuple[NativeGateSequence, SearchTrace]:
+    """Run the localized per-link search from an initial reference.
+
+    Args:
+        probe: Evaluates a sequence, returning its success rate (higher
+            is better). Called ``1 + sum(|options|-1)`` times per pass.
+        initial: The reference sequence to start from (Step 2). Must be
+            link-uniform — mass replacement presumes one gate per link.
+        gate_options: Available native gates per link.
+        link_order: Link visit order; defaults to the sequence's program
+            order (the paper's default).
+        max_passes: How many full link sweeps to run. The paper's ANGEL
+            is the single-pass algorithm; extra passes are our extension
+            addressing its Section VI-E limitation (1) — the search
+            stops early once a pass produces no update, so later passes
+            only spend probes when they can still help.
+
+    Returns:
+        ``(best_sequence, trace)`` — the final reference and the full
+        probe log.
+    """
+    if max_passes < 1:
+        raise SearchError("max_passes must be at least 1")
+    if not initial.is_link_uniform():
+        raise SearchError(
+            "initial reference must assign one gate per link "
+            "(mass replacement granularity)"
+        )
+    links = list(link_order) if link_order is not None else initial.links_used()
+    used = set(initial.links_used())
+    for link in links:
+        if link not in used:
+            raise SearchError(f"link {link} is not used by the program")
+
+    trace = SearchTrace()
+    reference = initial
+    reference_sr = probe(reference)
+    trace.probes.append(
+        ProbeRecord(reference, reference_sr, None, "reference", True)
+    )
+    trace.reference_history.append(reference)
+
+    for _pass_number in range(max_passes):
+        updated_this_pass = False
+        for link in links:
+            current_gate = reference.gates_on_link(link)[0]
+            alternatives = [
+                g for g in gate_options[link] if g != current_gate
+            ]
+            best_candidate: Optional[NativeGateSequence] = None
+            best_candidate_sr = reference_sr
+            records: List[ProbeRecord] = []
+            for gate in alternatives:
+                candidate = reference.with_link_gate(link, gate)
+                candidate_sr = probe(candidate)
+                records.append(
+                    ProbeRecord(
+                        candidate, candidate_sr, link, "candidate", False
+                    )
+                )
+                if candidate_sr > best_candidate_sr:
+                    best_candidate = candidate
+                    best_candidate_sr = candidate_sr
+            if best_candidate is not None:
+                # Continuous update: adopt before visiting the next link.
+                records = [
+                    ProbeRecord(
+                        r.sequence,
+                        r.success_rate,
+                        r.link,
+                        r.role,
+                        r.sequence == best_candidate,
+                    )
+                    for r in records
+                ]
+                reference = best_candidate
+                reference_sr = best_candidate_sr
+                trace.reference_history.append(reference)
+                updated_this_pass = True
+            trace.probes.extend(records)
+        if not updated_this_pass:
+            break
+
+    return reference, trace

@@ -1,0 +1,169 @@
+"""Native gate sequences: the object ANGEL searches over.
+
+A :class:`NativeGateSequence` assigns one native two-qubit gate name to
+every CNOT site of a routed program (paper Section IV: "ANGEL maintains a
+list of all CNOT operations in a program, the device links they will
+execute on, and the native gate used to translate each of them").
+
+The search operates at *link* granularity (mass replacement): replacing a
+link rewrites every site on that link at once. Sequences are immutable;
+replacements return new objects, so the search's audit trail is cheap to
+keep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from ..compiler.nativization import CnotSite
+from ..device.native_gates import NATIVE_TWO_QUBIT_GATES
+from ..device.topology import Link
+from ..exceptions import SearchError
+
+__all__ = ["NativeGateSequence", "enumerate_sequences"]
+
+
+@dataclass(frozen=True)
+class NativeGateSequence:
+    """An assignment of native gates to the CNOT sites of one program.
+
+    Attributes:
+        sites: The program's CNOT sites, in program order.
+        gates: ``gates[i]`` is the native gate for ``sites[i]``.
+    """
+
+    sites: Tuple[CnotSite, ...]
+    gates: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sites) != len(self.gates):
+            raise SearchError(
+                f"{len(self.gates)} gates for {len(self.sites)} sites"
+            )
+        for site, gate in zip(self.sites, self.gates):
+            if gate not in NATIVE_TWO_QUBIT_GATES:
+                raise SearchError(
+                    f"unknown native gate {gate!r} at site {site.index}"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls, sites: Sequence[CnotSite], gate: str
+    ) -> "NativeGateSequence":
+        """Every site through the same native gate."""
+        return cls(tuple(sites), tuple(gate for _ in sites))
+
+    @classmethod
+    def from_link_gates(
+        cls, sites: Sequence[CnotSite], link_gates: Mapping[Link, str]
+    ) -> "NativeGateSequence":
+        """Build from a per-link assignment (link granularity)."""
+        try:
+            gates = tuple(link_gates[site.link] for site in sites)
+        except KeyError as exc:
+            raise SearchError(f"no gate for link {exc.args[0]}") from exc
+        return cls(tuple(sites), gates)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def as_site_map(self) -> Dict[int, str]:
+        """Site index -> gate name, the form :func:`nativize` consumes."""
+        return {site.index: gate for site, gate in zip(self.sites, self.gates)}
+
+    def links_used(self) -> List[Link]:
+        """Distinct links in first-use (program) order.
+
+        This is the link visit order of ANGEL's localized search ("by
+        default, ANGEL uses the program order").
+        """
+        seen: List[Link] = []
+        for site in self.sites:
+            if site.link not in seen:
+                seen.append(site.link)
+        return seen
+
+    def gates_on_link(self, link: Link) -> List[str]:
+        return [
+            gate
+            for site, gate in zip(self.sites, self.gates)
+            if site.link == link
+        ]
+
+    def is_link_uniform(self) -> bool:
+        """True if every link uses a single native gate throughout."""
+        per_link: Dict[Link, str] = {}
+        for site, gate in zip(self.sites, self.gates):
+            if per_link.setdefault(site.link, gate) != gate:
+                return False
+        return True
+
+    def with_link_gate(self, link: Link, gate: str) -> "NativeGateSequence":
+        """Mass replacement: every site on *link* switches to *gate*."""
+        if gate not in NATIVE_TWO_QUBIT_GATES:
+            raise SearchError(f"unknown native gate {gate!r}")
+        if link not in self.links_used():
+            raise SearchError(f"link {link} is not used by this program")
+        gates = tuple(
+            gate if site.link == link else old
+            for site, old in zip(self.sites, self.gates)
+        )
+        return NativeGateSequence(self.sites, gates)
+
+    def with_site_gate(self, index: int, gate: str) -> "NativeGateSequence":
+        """Replace a single site (used by the site-granular exhaustive)."""
+        if not 0 <= index < len(self.sites):
+            raise SearchError(f"site index {index} out of range")
+        gates = list(self.gates)
+        gates[index] = gate
+        return NativeGateSequence(self.sites, tuple(gates))
+
+    def label(self) -> str:
+        """Compact human-readable form, e.g. ``[XY, CZ, CZ]``."""
+        return "[" + ", ".join(g.upper() for g in self.gates) + "]"
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+def enumerate_sequences(
+    sites: Sequence[CnotSite],
+    gate_options: Mapping[Link, Sequence[str]],
+    granularity: str = "site",
+) -> Iterator[NativeGateSequence]:
+    """All sequences over *sites* (the Runtime-Best search space).
+
+    Args:
+        sites: CNOT sites of the program.
+        gate_options: Native gates available per link (from the device).
+        granularity: ``"site"`` enumerates ``prod_i |options(link_i)|``
+            assignments — the paper's ``3^N``. ``"link"`` ties all sites
+            on a link together (``3^L``), the reduction the paper applies
+            to toff_n3 to keep the runtime-best experiment feasible.
+
+    Raises:
+        SearchError: On an unknown granularity or a link with no options.
+    """
+    sites = tuple(sites)
+    for site in sites:
+        if not gate_options.get(site.link):
+            raise SearchError(f"no native gates available on {site.link}")
+    if granularity == "site":
+        per_site = [tuple(gate_options[s.link]) for s in sites]
+        for combo in itertools.product(*per_site):
+            yield NativeGateSequence(sites, combo)
+    elif granularity == "link":
+        links: List[Link] = []
+        for site in sites:
+            if site.link not in links:
+                links.append(site.link)
+        per_link = [tuple(gate_options[link]) for link in links]
+        for combo in itertools.product(*per_link):
+            link_gates = dict(zip(links, combo))
+            yield NativeGateSequence.from_link_gates(sites, link_gates)
+    else:
+        raise SearchError(f"unknown granularity {granularity!r}")

@@ -1,0 +1,565 @@
+"""The simulated Rigetti Aspen device: executor, clock, and drift.
+
+This is the hardware substitute documented in DESIGN.md §2. It accepts
+*native* circuits addressed to physical qubit ids, applies per-link,
+per-gate, per-pulse noise (coherent over-rotation + parasitic ZZ +
+depolarizing + T1/T2 + readout confusion), returns shot counts, and
+advances a simulated wall clock so every noise parameter drifts between
+runs exactly like the paper's Aspen machines drift between (and within)
+calibration windows.
+
+Only the qubits a circuit touches are simulated (noise is local), so a
+38-qubit device runs 2-5 qubit benchmarks through the exact
+density-matrix backend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import circuit_moments
+from ..circuit.gates import Gate
+from ..exceptions import DeviceError
+from ..linalg import channel_average_fidelity
+from ..sim.channels import (
+    KrausChannel,
+    ReadoutError,
+    thermal_relaxation_channel,
+    two_qubit_depolarizing_channel,
+    depolarizing_channel,
+    unitary_channel,
+)
+from ..sim.density_matrix import DensityMatrixSimulator
+from ..sim.sampler import Counts
+from .native_gates import (
+    DEFAULT_PULSE_DURATIONS_NS,
+    NativeGateSet,
+    RIGETTI_NATIVE_GATES,
+)
+from .noise_parameters import (
+    QubitNoiseParameters,
+    TwoQubitGateNoiseParameters,
+    coherent_error_unitary,
+    single_qubit_coherent_error,
+)
+from .topology import Link, Topology, make_link
+
+__all__ = ["RigettiAspenDevice", "ExecutionRecord"]
+
+#: Per-shot overhead (active reset + binning), microseconds.
+_SHOT_OVERHEAD_US = 10.0
+#: Fixed per-job overhead (load, arm, readout pipeline), microseconds.
+_JOB_OVERHEAD_US = 50_000.0
+
+_NS_PER_US = 1000.0
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Audit entry for one device job, kept for experiment reporting."""
+
+    circuit_name: str
+    shots: int
+    started_at_us: float
+    duration_us: float
+    qubits: Tuple[int, ...]
+
+
+class RigettiAspenDevice:
+    """A simulated multi-native-gate superconducting device.
+
+    Args:
+        topology: Active qubits and links.
+        qubit_params: Physics per physical qubit (all active qubits
+            required).
+        gate_params: Physics per (link, native gate name). A missing
+            entry means that link does not support that native gate —
+            real Aspen chips have such links (paper Section III-A).
+        native_gates: The instruction set accepted by :meth:`run`.
+        seed: Seed for the device's internal randomness (drift and
+            default shot sampling).
+        idle_noise: Model T1/T2 decay on qubits that sit idle while
+            other qubits are gated (moment-scheduled). Off by default:
+            the paper's mechanisms are two-qubit gate errors; idle decay
+            is the ADAPT paper's territory and is provided as an
+            extension (see ``tests/test_idle_noise.py``).
+        crosstalk_zz: Coherent ZZ phase (radians per entangling pulse)
+            accumulated between each pulsed qubit and its *spectator*
+            topology neighbours inside the simulated register — the
+            frequency-crowding crosstalk the paper cites as a motivation
+            for richer native gate sets (Section II-B). Extension; 0
+            disables it (default).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        qubit_params: Dict[int, QubitNoiseParameters],
+        gate_params: Dict[Tuple[Link, str], TwoQubitGateNoiseParameters],
+        native_gates: NativeGateSet = RIGETTI_NATIVE_GATES,
+        seed: int = 0,
+        idle_noise: bool = False,
+        crosstalk_zz: float = 0.0,
+    ) -> None:
+        missing = [q for q in topology.qubits if q not in qubit_params]
+        if missing:
+            raise DeviceError(f"missing qubit parameters for {missing}")
+        for (link, gate_name) in gate_params:
+            if link != make_link(*link):
+                raise DeviceError(f"gate_params link {link} not canonical")
+            if gate_name not in native_gates.two_qubit:
+                raise DeviceError(f"unknown native gate {gate_name!r}")
+        self.topology = topology
+        self.qubit_params = qubit_params
+        self.gate_params = gate_params
+        self.native_gates = native_gates
+        self.idle_noise = idle_noise
+        self.crosstalk_zz = float(crosstalk_zz)
+        self.clock_us = 0.0
+        self.execution_log: List[ExecutionRecord] = []
+        self._drift_rng = np.random.default_rng(seed)
+        self._sample_rng = np.random.default_rng(seed + 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.topology.name
+
+    def supported_gates(self, qubit_a: int, qubit_b: int) -> Tuple[str, ...]:
+        """Native two-qubit gates available on a link (canonical order)."""
+        link = make_link(qubit_a, qubit_b)
+        return tuple(
+            g
+            for g in self.native_gates.two_qubit
+            if (link, g) in self.gate_params
+        )
+
+    def links_supporting(self, gate_name: str) -> List[Link]:
+        return sorted(
+            link for (link, g) in self.gate_params if g == gate_name
+        )
+
+    # ------------------------------------------------------------------
+    # Time and drift
+    # ------------------------------------------------------------------
+    def advance_time(self, dt_us: float) -> None:
+        """Advance the wall clock, drifting every noise parameter."""
+        if dt_us < 0:
+            raise DeviceError("cannot advance time backwards")
+        if dt_us == 0:
+            return
+        self.clock_us += dt_us
+        for params in self.qubit_params.values():
+            for value in params.drifting_values():
+                value.advance(dt_us, self._drift_rng)
+        for params in self.gate_params.values():
+            for value in params.drifting_values():
+                value.advance(dt_us, self._drift_rng)
+
+    def circuit_duration_us(self, circuit: QuantumCircuit) -> float:
+        """Critical-path duration of one shot of a native circuit."""
+        total_ns = 0.0
+        for moment in circuit_moments(circuit):
+            total_ns += max(
+                (self._gate_duration_ns(gate) for gate in moment.gates),
+                default=0.0,
+            )
+        return total_ns / _NS_PER_US
+
+    def _gate_duration_ns(self, gate: Gate) -> float:
+        if gate.is_barrier:
+            return 0.0
+        if gate.is_measurement:
+            return DEFAULT_PULSE_DURATIONS_NS["measure"]
+        if gate.num_qubits == 2:
+            link = make_link(*gate.qubits)
+            params = self.gate_params.get((link, gate.name))
+            if params is not None:
+                return params.duration_ns
+            return DEFAULT_PULSE_DURATIONS_NS.get(gate.name, 100.0)
+        if gate.name == "rx":
+            return self.qubit_params[gate.qubits[0]].rx_duration_ns
+        return DEFAULT_PULSE_DURATIONS_NS.get(gate.name, 0.0)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        seed: Optional[int] = None,
+    ) -> Counts:
+        """Execute a native circuit on physical qubits; returns counts.
+
+        The circuit must address active physical qubit ids, use only the
+        device's native gate set, place two-qubit gates on active links
+        that support them, and (like real hardware) explicitly measure
+        the qubits it wants read out.
+
+        Each call advances the device clock by the job's wall time, so
+        back-to-back runs observe drifted noise — this is what makes the
+        ANGEL probing loop live in the same noise environment as the
+        final program execution.
+        """
+        if shots < 1:
+            raise DeviceError("shots must be positive")
+        self._validate(circuit)
+        used = self._used_qubits(circuit)
+        compact, local_of = self._compact_circuit(circuit, used)
+        if self.idle_noise:
+            compact = self._with_idle_markers(compact)
+
+        simulator = DensityMatrixSimulator(
+            self._noise_callback_factory(used)
+        )
+        readout = [
+            self.qubit_params[phys].readout_error() for phys in used
+        ]
+        rng = (
+            np.random.default_rng(seed)
+            if seed is not None
+            else self._sample_rng
+        )
+        counts = simulator.sample(compact, shots, rng, readout_errors=readout)
+
+        duration = (
+            _JOB_OVERHEAD_US
+            + shots * (self.circuit_duration_us(circuit) + _SHOT_OVERHEAD_US)
+        )
+        self.execution_log.append(
+            ExecutionRecord(
+                circuit_name=circuit.name,
+                shots=shots,
+                started_at_us=self.clock_us,
+                duration_us=duration,
+                qubits=tuple(used),
+            )
+        )
+        self.advance_time(duration)
+        return counts
+
+    def _validate(self, circuit: QuantumCircuit) -> None:
+        if not circuit.has_measurements:
+            raise DeviceError(
+                f"circuit {circuit.name!r} has no measurements; hardware "
+                "returns only measured bits"
+            )
+        active = set(self.topology.qubits)
+        for gate in circuit:
+            if gate.is_barrier:
+                continue
+            for qubit in gate.qubits:
+                if qubit not in active:
+                    raise DeviceError(
+                        f"{gate} uses inactive/unknown qubit {qubit}"
+                    )
+            if gate.is_measurement:
+                continue
+            if not self.native_gates.is_native(gate):
+                raise DeviceError(
+                    f"{gate} is not native to {self.native_gates.name}"
+                )
+            if gate.num_qubits == 2:
+                link = make_link(*gate.qubits)
+                if not self.topology.has_link(*link):
+                    raise DeviceError(f"{gate} is not on a device link")
+                if (link, gate.name) not in self.gate_params:
+                    raise DeviceError(
+                        f"link {link} does not support native gate "
+                        f"{gate.name!r}"
+                    )
+
+    @staticmethod
+    def _used_qubits(circuit: QuantumCircuit) -> List[int]:
+        used: Set[int] = set()
+        for gate in circuit:
+            used.update(gate.qubits)
+        return sorted(used)
+
+    @staticmethod
+    def _compact_circuit(
+        circuit: QuantumCircuit, used: List[int]
+    ) -> Tuple[QuantumCircuit, Dict[int, int]]:
+        """Relabel physical qubits onto a dense 0..k-1 register."""
+        local_of = {phys: local for local, phys in enumerate(used)}
+        compact = QuantumCircuit(len(used), name=circuit.name)
+        for gate in circuit:
+            if gate.is_barrier:
+                compact.barrier()
+            else:
+                compact.append(
+                    Gate(
+                        gate.name,
+                        tuple(local_of[q] for q in gate.qubits),
+                        gate.params,
+                    )
+                )
+        return compact, local_of
+
+    def _with_idle_markers(self, compact: QuantumCircuit) -> QuantumCircuit:
+        """Insert explicit ``idle`` gates per moment on untouched wires.
+
+        Each moment lasts as long as its slowest instruction; every
+        compact-register qubit not acted on in that moment receives an
+        ``idle(duration)`` marker whose noise hook applies T1/T2 decay.
+        """
+        marked = QuantumCircuit(compact.num_qubits, name=compact.name)
+        for moment in circuit_moments(compact):
+            duration = max(
+                (self._gate_duration_ns(g) for g in moment.gates),
+                default=0.0,
+            )
+            busy = set(moment.qubits())
+            for _, gate in moment.items:
+                marked.append(gate)
+            if duration <= 0:
+                continue
+            for qubit in range(compact.num_qubits):
+                if qubit not in busy:
+                    marked.append(Gate("idle", (qubit,), (duration,)))
+        return marked
+
+    def _noise_callback_factory(self, used: List[int]):
+        """Noise hook for the density-matrix simulator, in local indices."""
+        phys_of = dict(enumerate(used))
+
+        def callback(gate: Gate) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
+            if gate.name == "rz":
+                return []  # virtual frame update: noiseless, zero time
+            if gate.name == "idle":
+                return self._idle_noise(gate, phys_of)
+            if gate.num_qubits == 1:
+                return self._single_qubit_noise(gate, phys_of)
+            if gate.num_qubits == 2:
+                return self._two_qubit_noise(gate, phys_of)
+            return []
+
+        return callback
+
+    def _idle_noise(
+        self, gate: Gate, phys_of: Dict[int, int]
+    ) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
+        phys = phys_of[gate.qubits[0]]
+        params = self.qubit_params[phys]
+        duration_us = gate.params[0] / _NS_PER_US
+        if duration_us <= 0:
+            return []
+        return [
+            (
+                thermal_relaxation_channel(
+                    duration_us,
+                    params.t1_us.current,
+                    min(params.t2_us.current, 2 * params.t1_us.current),
+                ),
+                gate.qubits,
+            )
+        ]
+
+    def _single_qubit_noise(
+        self, gate: Gate, phys_of: Dict[int, int]
+    ) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
+        phys = phys_of[gate.qubits[0]]
+        params = self.qubit_params[phys]
+        ops: List[Tuple[KrausChannel, Tuple[int, ...]]] = []
+        over = params.rx_over_rotation.current
+        if abs(over) > 1e-12:
+            ops.append(
+                (
+                    unitary_channel(
+                        single_qubit_coherent_error(over), "rx_coherent"
+                    ),
+                    gate.qubits,
+                )
+            )
+        depol = params.rx_depolarizing.current
+        if depol > 0:
+            ops.append((depolarizing_channel(depol), gate.qubits))
+        ops.append(
+            (
+                thermal_relaxation_channel(
+                    params.rx_duration_ns / _NS_PER_US,
+                    params.t1_us.current,
+                    min(params.t2_us.current, 2 * params.t1_us.current),
+                ),
+                gate.qubits,
+            )
+        )
+        return ops
+
+    def _two_qubit_noise(
+        self, gate: Gate, phys_of: Dict[int, int]
+    ) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
+        phys_pair = (phys_of[gate.qubits[0]], phys_of[gate.qubits[1]])
+        link = make_link(*phys_pair)
+        params = self.gate_params[(link, gate.name)]
+        ops: List[Tuple[KrausChannel, Tuple[int, ...]]] = []
+        over = params.over_rotation.current
+        zz = params.zz_error.current
+        if abs(over) > 1e-12 or abs(zz) > 1e-12:
+            ops.append(
+                (
+                    unitary_channel(
+                        coherent_error_unitary(gate.name, over, zz),
+                        f"{gate.name}_coherent",
+                    ),
+                    gate.qubits,
+                )
+            )
+        depol = params.depolarizing.current
+        if depol > 0:
+            ops.append((two_qubit_depolarizing_channel(depol), gate.qubits))
+        duration_us = params.duration_ns / _NS_PER_US
+        for local_qubit, phys in zip(gate.qubits, phys_pair):
+            qparams = self.qubit_params[phys]
+            ops.append(
+                (
+                    thermal_relaxation_channel(
+                        duration_us,
+                        qparams.t1_us.current,
+                        min(qparams.t2_us.current, 2 * qparams.t1_us.current),
+                    ),
+                    (local_qubit,),
+                )
+            )
+        if self.crosstalk_zz:
+            ops.extend(self._crosstalk_ops(gate, phys_of))
+        return ops
+
+    def _crosstalk_ops(
+        self, gate: Gate, phys_of: Dict[int, int]
+    ) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
+        """Spectator ZZ crosstalk during an entangling pulse.
+
+        Every in-register topology neighbour of a pulsed qubit (that is
+        not itself part of the pulse) picks up ``exp(-i zeta ZZ / 2)``
+        with the pulsed qubit — the always-on coupling that frequency
+        crowding leaves behind.
+        """
+        local_of = {phys: local for local, phys in phys_of.items()}
+        zz_unitary = np.diag(
+            np.exp(
+                -1j
+                * (self.crosstalk_zz / 2.0)
+                * np.array([1.0, -1.0, -1.0, 1.0])
+            )
+        ).astype(complex)
+        ops: List[Tuple[KrausChannel, Tuple[int, ...]]] = []
+        pulsed_local = set(gate.qubits)
+        for local_qubit in gate.qubits:
+            phys = phys_of[local_qubit]
+            for neighbour_phys in self.topology.neighbors(phys):
+                spectator = local_of.get(neighbour_phys)
+                if spectator is None or spectator in pulsed_local:
+                    continue
+                ops.append(
+                    (
+                        unitary_channel(zz_unitary, "crosstalk_zz"),
+                        (local_qubit, spectator),
+                    )
+                )
+        return ops
+
+    def noisy_distribution(self, circuit: QuantumCircuit) -> Dict[str, float]:
+        """Oracle: the exact noisy output distribution, right now.
+
+        Unlike :meth:`run` this consumes no shots, does not advance the
+        clock, and is not logged — it is the experimenter's ground-truth
+        view used by characterization studies to separate physics from
+        shot noise. Real users of the device cannot call this.
+        """
+        self._validate(circuit)
+        used = self._used_qubits(circuit)
+        compact, _ = self._compact_circuit(circuit, used)
+        if self.idle_noise:
+            compact = self._with_idle_markers(compact)
+        simulator = DensityMatrixSimulator(self._noise_callback_factory(used))
+        readout = [self.qubit_params[phys].readout_error() for phys in used]
+        return simulator.distribution(compact, readout_errors=readout)
+
+    # ------------------------------------------------------------------
+    # Ground-truth fidelities (what an oracle — not the vendor — knows)
+    # ------------------------------------------------------------------
+    def true_pulse_fidelity(self, link: Link, gate_name: str) -> float:
+        """Exact average gate fidelity of one entangling pulse, now.
+
+        This composes the pulse's coherent error, depolarizing channel,
+        and both qubits' thermal relaxation analytically — the value a
+        perfect, instantaneous randomized-benchmarking experiment would
+        converge to. The calibration service adds staleness and
+        estimation noise on top of this ground truth.
+        """
+        link = make_link(*link)
+        params = self.gate_params.get((link, gate_name))
+        if params is None:
+            raise DeviceError(f"link {link} lacks gate {gate_name!r}")
+        ideal = _pulse_unitary(gate_name)
+        error_unitary = coherent_error_unitary(
+            gate_name,
+            params.over_rotation.current,
+            params.zz_error.current,
+        )
+        kraus = [error_unitary @ ideal]
+        depol = params.depolarizing.current
+        if depol > 0:
+            channel = two_qubit_depolarizing_channel(depol)
+            kraus = [k @ base for base in kraus for k in channel.operators]
+        duration_us = params.duration_ns / _NS_PER_US
+        for position, qubit in enumerate(link):
+            qparams = self.qubit_params[qubit]
+            thermal = thermal_relaxation_channel(
+                duration_us,
+                qparams.t1_us.current,
+                min(qparams.t2_us.current, 2 * qparams.t1_us.current),
+            )
+            expanded = [
+                _embed_single(op, position) for op in thermal.operators
+            ]
+            kraus = [k @ base for base in kraus for k in expanded]
+        return channel_average_fidelity(ideal, kraus)
+
+    def true_rx_fidelity(self, qubit: int) -> float:
+        """Exact average fidelity of one RX(pi/2) pulse on *qubit*, now."""
+        params = self.qubit_params[qubit]
+        ideal = Gate("rx", (0,), (math.pi / 2,)).matrix()
+        kraus = [
+            single_qubit_coherent_error(params.rx_over_rotation.current)
+            @ ideal
+        ]
+        depol = params.rx_depolarizing.current
+        if depol > 0:
+            channel = depolarizing_channel(depol)
+            kraus = [k @ base for base in kraus for k in channel.operators]
+        thermal = thermal_relaxation_channel(
+            params.rx_duration_ns / _NS_PER_US,
+            params.t1_us.current,
+            min(params.t2_us.current, 2 * params.t1_us.current),
+        )
+        kraus = [k @ base for base in kraus for k in thermal.operators]
+        return channel_average_fidelity(ideal, kraus)
+
+
+def _pulse_unitary(gate_name: str) -> np.ndarray:
+    """The ideal unitary of one entangling pulse as used inside a CNOT."""
+    if gate_name == "cz":
+        return Gate("cz", (0, 1)).matrix()
+    if gate_name == "xy":
+        return Gate("xy", (0, 1), (math.pi,)).matrix()
+    if gate_name == "cphase":
+        return Gate("cphase", (0, 1), (math.pi / 2,)).matrix()
+    raise DeviceError(f"unknown native two-qubit gate {gate_name!r}")
+
+
+def _embed_single(op: np.ndarray, position: int) -> np.ndarray:
+    """Embed a 1-qubit Kraus operator into the 2-qubit link space."""
+    identity = np.eye(2, dtype=complex)
+    if position == 0:
+        return np.kron(op, identity)
+    return np.kron(identity, op)

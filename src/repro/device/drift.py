@@ -1,0 +1,115 @@
+"""Temporal drift of device parameters (Ornstein–Uhlenbeck processes).
+
+The paper's Section III-B observes that device error rates wander between
+calibration cycles while the *reported* values plateau (Fig. 8), and its
+Section VI-E shows drift within a single calibration window reshuffling
+which native-gate sequence is best (Figs. 21-22). We model every noise
+parameter as a mean-reverting OU process advanced by simulated wall-clock
+time, using the exact discrete transition
+
+``x(t+dt) = mu + (x(t) - mu) * a + sigma_stat * sqrt(1 - a^2) * N(0,1)``
+
+with ``a = exp(-dt / tau)``, so updates are step-size invariant: advancing
+by ``dt`` in one step or many is statistically identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..exceptions import DeviceError
+
+__all__ = ["OrnsteinUhlenbeck", "DriftingValue"]
+
+
+@dataclass
+class OrnsteinUhlenbeck:
+    """A mean-reverting Gaussian process.
+
+    Attributes:
+        mean: Long-run mean the process reverts to.
+        stationary_std: Standard deviation of the stationary distribution
+            (0 disables drift entirely — the parameter stays at *value*).
+        correlation_time: Time constant tau of mean reversion, in the same
+            units the caller advances the clock with (microseconds
+            throughout this library).
+        value: Current value; defaults to the mean.
+    """
+
+    mean: float
+    stationary_std: float
+    correlation_time: float
+    value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.stationary_std < 0:
+            raise DeviceError("stationary_std must be non-negative")
+        if self.correlation_time <= 0:
+            raise DeviceError("correlation_time must be positive")
+        if self.value is None:
+            self.value = self.mean
+
+    def advance(self, dt: float, rng: np.random.Generator) -> float:
+        """Advance the process by *dt* time units; returns the new value."""
+        if dt < 0:
+            raise DeviceError("cannot advance time backwards")
+        if dt == 0 or self.stationary_std == 0:
+            return float(self.value)
+        decay = math.exp(-dt / self.correlation_time)
+        noise_scale = self.stationary_std * math.sqrt(1.0 - decay**2)
+        self.value = (
+            self.mean
+            + (self.value - self.mean) * decay
+            + noise_scale * float(rng.standard_normal())
+        )
+        return float(self.value)
+
+    def equilibrate(self, rng: np.random.Generator) -> float:
+        """Jump straight to a stationary-distribution sample."""
+        self.value = self.mean + self.stationary_std * float(
+            rng.standard_normal()
+        )
+        return float(self.value)
+
+
+@dataclass
+class DriftingValue:
+    """An OU process clipped to a physical range.
+
+    Noise probabilities must stay in ``[low, high]``; rather than letting
+    the Gaussian wander out we clip the *observed* value while the
+    underlying process keeps its dynamics (standard reflected-read
+    treatment — keeps the process ergodic and the clip rare when the
+    bounds are a few sigma away).
+    """
+
+    process: OrnsteinUhlenbeck
+    low: float = 0.0
+    high: float = math.inf
+
+    @classmethod
+    def fixed(cls, value: float) -> "DriftingValue":
+        """A non-drifting constant, for tests and noiseless presets."""
+        return cls(
+            OrnsteinUhlenbeck(
+                mean=value, stationary_std=0.0, correlation_time=1.0
+            ),
+            low=-math.inf,
+            high=math.inf,
+        )
+
+    @property
+    def current(self) -> float:
+        return float(min(self.high, max(self.low, self.process.value)))
+
+    def advance(self, dt: float, rng: np.random.Generator) -> float:
+        self.process.advance(dt, rng)
+        return self.current
+
+    def equilibrate(self, rng: np.random.Generator) -> float:
+        self.process.equilibrate(rng)
+        return self.current

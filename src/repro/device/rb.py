@@ -1,0 +1,271 @@
+"""Standard and interleaved randomized benchmarking (paper Section II-D).
+
+The paper attributes vendors' calibration numbers to randomized
+benchmarking: "long sequences of random gates chosen from the Clifford
+group" whose decay yields the *average* gate fidelity. This module
+implements the textbook protocol on the simulated device:
+
+* **Standard RB** on a link: ``m`` uniformly random two-qubit Cliffords
+  (from the fully enumerated 11,520-element group), a single recovery
+  Clifford computed by tableau inversion, survival of |00> fit to
+  ``A * alpha^m + B``.
+* **Interleaved RB** of one native pulse: the same sequences with the
+  pulse under test inserted after every random Clifford. The ratio of
+  decays isolates the pulse's own fidelity, cancelling the dressing
+  Cliffords' error — this is how a vendor benchmarks CZ vs XY vs CPHASE
+  separately.
+
+All dressing Cliffords are compiled to the device's native gates (the
+entangling parts through a configurable dressing native). Interleaved
+pulses are the Clifford representatives of each family (CZ, XY(pi),
+CPHASE(pi)) so the recovery computation stays in the stabilizer
+formalism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+from ..exceptions import DeviceError
+from ..sim.clifford_group import CliffordElement, clifford_group, tableau_key
+from ..sim.stabilizer import StabilizerTableau
+from .device import RigettiAspenDevice
+from .native_gates import cnot_decomposition, hadamard_native
+from .topology import Link, make_link
+
+__all__ = [
+    "RbResult",
+    "standard_rb",
+    "interleaved_rb_fidelity",
+]
+
+#: The Clifford pulse each native family is benchmarked with, as
+#: (device gate, clifford-group vocabulary word).
+_INTERLEAVED_PULSE: Dict[str, Tuple[Gate, Tuple[str, Tuple[int, ...]]]] = {}
+
+
+def _interleaved_pulse(gate_name: str, qubit_a: int, qubit_b: int) -> Gate:
+    if gate_name == "cz":
+        return Gate("cz", (qubit_a, qubit_b))
+    if gate_name == "xy":
+        return Gate("xy", (qubit_a, qubit_b), (math.pi,))
+    if gate_name == "cphase":
+        return Gate("cphase", (qubit_a, qubit_b), (math.pi,))
+    raise DeviceError(f"unknown native gate {gate_name!r}")
+
+
+def _pulse_vocabulary_word(gate_name: str) -> Tuple[Tuple[str, Tuple[int, ...]], ...]:
+    """The interleaved pulse in the Clifford group's gate vocabulary."""
+    if gate_name == "cz":
+        return (("cz", (0, 1)),)
+    if gate_name == "xy":
+        return (("iswap", (0, 1)),)
+    if gate_name == "cphase":
+        return (("cz", (0, 1)),)  # CPHASE(pi) == CZ as a Clifford action
+    raise DeviceError(f"unknown native gate {gate_name!r}")
+
+
+def _nativize_clifford_word(
+    word, qubit_a: int, qubit_b: int, dressing_native: str
+) -> List[Gate]:
+    """Compile a Clifford gate word to device-native gates on a link."""
+    qubits = (qubit_a, qubit_b)
+    gates: List[Gate] = []
+    for name, local in word:
+        targets = tuple(qubits[q] for q in local)
+        if name == "h":
+            gates.extend(hadamard_native(targets[0]))
+        elif name == "s":
+            gates.append(Gate("rz", targets, (math.pi / 2,)))
+        elif name == "sdg":
+            gates.append(Gate("rz", targets, (-math.pi / 2,)))
+        elif name == "x":
+            gates.append(Gate("rx", targets, (math.pi,)))
+        elif name == "y":
+            gates.append(Gate("rx", targets, (math.pi,)))
+            gates.append(Gate("rz", targets, (math.pi,)))
+        elif name == "z":
+            gates.append(Gate("rz", targets, (math.pi,)))
+        elif name == "cnot":
+            gates.extend(
+                cnot_decomposition(dressing_native, targets[0], targets[1])
+            )
+        elif name == "cz":
+            gates.append(Gate("cz", targets))
+        else:  # pragma: no cover - vocabulary is closed
+            raise DeviceError(f"no nativization for RB gate {name!r}")
+    return gates
+
+
+def _rb_circuit(
+    link: Link,
+    depth: int,
+    rng: np.random.Generator,
+    interleave: Optional[str],
+    dressing_native: str,
+) -> QuantumCircuit:
+    """One RB sequence: random Cliffords (+ interleaved pulse) + recovery."""
+    group = clifford_group(2)
+    qubit_a, qubit_b = link
+    circuit = QuantumCircuit(
+        max(link) + 1,
+        name=f"rb_{interleave or 'std'}_d{depth}",
+    )
+    composed_word: Tuple = ()
+    for _ in range(depth):
+        element = group.sample(rng)
+        for gate in _nativize_clifford_word(
+            element.word, qubit_a, qubit_b, dressing_native
+        ):
+            circuit.append(gate)
+        composed_word = composed_word + element.word
+        if interleave is not None:
+            circuit.append(_interleaved_pulse(interleave, qubit_a, qubit_b))
+            composed_word = composed_word + _pulse_vocabulary_word(interleave)
+    recovery = group.inverse(group.key_of_word(composed_word))
+    for gate in _nativize_clifford_word(
+        recovery.word, qubit_a, qubit_b, dressing_native
+    ):
+        circuit.append(gate)
+    circuit.measure(qubit_a)
+    circuit.measure(qubit_b)
+    return circuit
+
+
+def _fit_decay(
+    depths: Sequence[int], survivals: Sequence[float]
+) -> Tuple[float, float, float]:
+    """Fit ``A * alpha^m + B``; returns (A, alpha, B)."""
+
+    def model(m, amplitude, alpha, floor):
+        return amplitude * alpha**m + floor
+
+    import warnings
+
+    try:
+        with warnings.catch_warnings():
+            # Noise-free decays fit exactly; the singular covariance is
+            # expected and not actionable.
+            warnings.simplefilter("ignore")
+            return _run_fit(model, depths, survivals)
+    except RuntimeError:
+        # Degenerate data: fall back to a two-point estimate.
+        alpha = max(
+            1e-3,
+            min(
+                1.0,
+                (survivals[-1] - 0.25)
+                / max(survivals[0] - 0.25, 1e-6),
+            ),
+        ) ** (1.0 / max(depths[-1] - depths[0], 1))
+        return 0.75, float(alpha), 0.25
+
+
+def _run_fit(model, depths, survivals):
+    popt, _ = curve_fit(
+        model,
+        np.asarray(depths, dtype=float),
+        np.asarray(survivals, dtype=float),
+        p0=(0.7, 0.95, 0.25),
+        bounds=([0.0, 0.0, 0.0], [1.0, 1.0, 0.6]),
+        maxfev=10_000,
+    )
+    return float(popt[0]), float(popt[1]), float(popt[2])
+
+
+@dataclass(frozen=True)
+class RbResult:
+    """Outcome of one RB experiment on one link.
+
+    Attributes:
+        link: The benchmarked link.
+        depths: Clifford sequence lengths used.
+        survivals: Mean |00> survival per depth.
+        alpha: Fitted per-Clifford depolarizing parameter.
+        clifford_fidelity: Average fidelity per dressing Clifford,
+            ``1 - (1 - alpha) * (d - 1) / d`` with ``d = 4``.
+    """
+
+    link: Link
+    depths: Tuple[int, ...]
+    survivals: Tuple[float, ...]
+    alpha: float
+    clifford_fidelity: float
+
+
+def standard_rb(
+    device: RigettiAspenDevice,
+    link: Link,
+    depths: Sequence[int] = (1, 2, 4, 8),
+    shots: int = 200,
+    sequences_per_depth: int = 3,
+    dressing_native: str = "cz",
+    rng: Optional[np.random.Generator] = None,
+) -> RbResult:
+    """Run standard two-qubit RB on a link; returns the fitted decay."""
+    rng = rng if rng is not None else np.random.default_rng()
+    link = make_link(*link)
+    survivals: List[float] = []
+    for depth in depths:
+        total = 0.0
+        for _ in range(sequences_per_depth):
+            circuit = _rb_circuit(link, depth, rng, None, dressing_native)
+            counts = device.run(circuit, shots)
+            total += counts.get("00", 0) / shots
+        survivals.append(total / sequences_per_depth)
+    _, alpha, _ = _fit_decay(depths, survivals)
+    fidelity = 1.0 - (1.0 - alpha) * 3.0 / 4.0
+    return RbResult(
+        link=link,
+        depths=tuple(depths),
+        survivals=tuple(survivals),
+        alpha=alpha,
+        clifford_fidelity=fidelity,
+    )
+
+
+def interleaved_rb_fidelity(
+    device: RigettiAspenDevice,
+    link: Link,
+    gate_name: str,
+    depths: Sequence[int] = (1, 2, 4, 8),
+    shots: int = 200,
+    sequences_per_depth: int = 3,
+    dressing_native: str = "cz",
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Estimate one native pulse's average fidelity via interleaved RB.
+
+    Runs the standard and interleaved decays with shared settings and
+    applies the Magesan ratio estimator:
+    ``F = 1 - (1 - alpha_int / alpha_std) * (d - 1) / d``.
+
+    The estimate carries the protocol's real systematic and statistical
+    error — which is the point: this is the imperfect number the
+    noise-adaptive baseline trusts.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    link = make_link(*link)
+    standard = standard_rb(
+        device, link, depths, shots, sequences_per_depth,
+        dressing_native, rng,
+    )
+    survivals: List[float] = []
+    for depth in depths:
+        total = 0.0
+        for _ in range(sequences_per_depth):
+            circuit = _rb_circuit(link, depth, rng, gate_name, dressing_native)
+            counts = device.run(circuit, shots)
+            total += counts.get("00", 0) / shots
+        survivals.append(total / sequences_per_depth)
+    _, alpha_int, _ = _fit_decay(depths, survivals)
+    alpha_std = max(standard.alpha, 1e-6)
+    ratio = min(1.0, alpha_int / alpha_std)
+    return float(1.0 - (1.0 - ratio) * 3.0 / 4.0)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Specific subclasses mark which subsystem rejected the
+operation; their messages always name the offending object so failures are
+actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """An invalid circuit construction or manipulation was attempted.
+
+    Raised for out-of-range qubits, duplicate qubits in one instruction,
+    unknown gate names, or operations applied after measurement where that
+    is not supported.
+    """
+
+
+class QasmError(ReproError):
+    """OpenQASM text could not be parsed or serialized."""
+
+
+class SimulationError(ReproError):
+    """A simulator was given a circuit it cannot execute.
+
+    Examples: a non-Clifford gate sent to the stabilizer simulator, or a
+    circuit whose qubit count exceeds the configured simulator limit.
+    """
+
+
+class DeviceError(ReproError):
+    """A circuit violates device constraints.
+
+    Raised when a two-qubit gate addresses a pair of qubits that is not a
+    link of the device topology, when a gate outside the device's native
+    set reaches the executor, or when a disabled link/gate is used.
+    """
+
+
+class CompilationError(ReproError):
+    """The compiler could not produce a valid native circuit.
+
+    Raised for unroutable circuits (disconnected topology regions), gates
+    with no registered decomposition, or inconsistent layouts.
+    """
+
+
+class CalibrationError(ReproError):
+    """Calibration data was queried for an unknown link or native gate."""
+
+
+class SearchError(ReproError):
+    """The ANGEL search was configured inconsistently.
+
+    Examples: an empty candidate gate set, a probe budget of zero shots, or
+    a reference sequence whose sites do not match the program being tuned.
+    """

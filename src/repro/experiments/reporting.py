@@ -1,0 +1,151 @@
+"""Experiment result containers and plain-text rendering.
+
+Every experiment returns an :class:`ExperimentResult`: an id tying it to
+the paper artifact it reproduces (``fig18``, ``table2``, ...), tabular
+rows, optional named series (the y-values a figure would plot), and
+free-form notes. Rendering is plain text so results diff cleanly and the
+benchmark harness can print the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["ExperimentResult", "format_table", "ascii_bars"]
+
+
+def format_table(
+    columns: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(str(c)) for c in columns]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = " | ".join(
+        str(c).ljust(widths[i]) for i, c in enumerate(columns)
+    )
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [header, rule]
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    max_value: Optional[float] = None,
+) -> str:
+    """A horizontal bar chart in text, for figure-style series."""
+    if not values:
+        return "(empty)"
+    peak = max_value if max_value is not None else max(values)
+    peak = max(peak, 1e-12)
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {value:.4f}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run.
+
+    Attributes:
+        experiment_id: Paper artifact id (``fig18``, ``table2``, ...).
+        title: Human-readable description.
+        columns: Table header.
+        rows: Table body (tuples aligned with *columns*).
+        series: Optional named numeric series (a figure's plotted data).
+        notes: Context lines (device, seeds, shots, caveats).
+        summary: One-line headline finding.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Tuple[str, ...]
+    rows: List[Tuple]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    summary: str = ""
+
+    def to_text(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.summary:
+            lines.append(self.summary)
+        lines.append("")
+        if self.rows:
+            lines.append(format_table(self.columns, self.rows))
+        for name, values in self.series.items():
+            lines.append("")
+            lines.append(f"-- series: {name} ({len(values)} points) --")
+            preview = ", ".join(f"{v:.4f}" for v in values[:12])
+            suffix = ", ..." if len(values) > 12 else ""
+            lines.append(f"[{preview}{suffix}]")
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to JSON (rows become lists; floats stay floats)."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "columns": list(self.columns),
+                "rows": [list(row) for row in self.rows],
+                "series": self.series,
+                "notes": self.notes,
+                "summary": self.summary,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json` (rows come back as tuples)."""
+        data = json.loads(text)
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            columns=tuple(data["columns"]),
+            rows=[tuple(row) for row in data["rows"]],
+            series={k: list(v) for k, v in data.get("series", {}).items()},
+            notes=list(data.get("notes", [])),
+            summary=data.get("summary", ""),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the JSON form to *path*; returns the resolved path."""
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentResult":
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,156 @@
+"""Figures of merit: Success-Rate (paper Eq. 2) and rank correlation.
+
+The paper measures program quality as ``SR = 1 - TVD(P, Q)`` where ``P``
+is the ideal output distribution (from a noise-free simulator) and ``Q``
+the distribution observed on hardware. Eq. 2 as printed omits the 1/2 in
+the total variation distance; we use the standard halved form so SR stays
+in ``[0, 1]`` for every pair of distributions (see DESIGN.md §5.1 — a
+monotone rescaling that preserves all of the paper's rankings).
+
+Spearman's rank correlation coefficient (used in Figs. 12 and 19 to score
+how faithfully a CopyCat imitates its program across native-gate
+sequences) is implemented directly, with the standard average-rank
+treatment of ties.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .exceptions import ReproError
+
+__all__ = [
+    "total_variation_distance",
+    "success_rate",
+    "success_rate_from_counts",
+    "hellinger_fidelity",
+    "spearman_correlation",
+    "relative_success_rates",
+    "geometric_mean",
+]
+
+
+def _aligned(
+    p: Mapping[str, float], q: Mapping[str, float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    keys = sorted(set(p) | set(q))
+    return (
+        np.array([p.get(k, 0.0) for k in keys], dtype=float),
+        np.array([q.get(k, 0.0) for k in keys], dtype=float),
+    )
+
+
+def _validated(values: np.ndarray, name: str) -> np.ndarray:
+    if (values < -1e-9).any():
+        raise ReproError(f"{name} has negative probabilities")
+    total = values.sum()
+    if not math.isclose(total, 1.0, abs_tol=1e-6):
+        raise ReproError(f"{name} sums to {total}, expected 1")
+    return np.clip(values, 0.0, None)
+
+
+def total_variation_distance(
+    p: Mapping[str, float], q: Mapping[str, float]
+) -> float:
+    """``TVD(P, Q) = (1/2) sum_x |P(x) - Q(x)|`` over the union support."""
+    p_vec, q_vec = _aligned(p, q)
+    p_vec = _validated(p_vec, "P")
+    q_vec = _validated(q_vec, "Q")
+    return float(0.5 * np.abs(p_vec - q_vec).sum())
+
+
+def success_rate(p_ideal: Mapping[str, float], q_noisy: Mapping[str, float]) -> float:
+    """Success-Rate ``1 - TVD`` (paper Eq. 2, normalized form).
+
+    1.0 means the device reproduced the ideal distribution exactly; 0.0
+    means the distributions are disjoint.
+    """
+    return 1.0 - total_variation_distance(p_ideal, q_noisy)
+
+
+def success_rate_from_counts(
+    p_ideal: Mapping[str, float], counts: Mapping[str, int]
+) -> float:
+    """Success-Rate against raw shot counts (normalizes them first)."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise ReproError("empty counts")
+    q = {k: v / total for k, v in counts.items()}
+    return success_rate(p_ideal, q)
+
+
+def hellinger_fidelity(
+    p: Mapping[str, float], q: Mapping[str, float]
+) -> float:
+    """Classical (Bhattacharyya) fidelity ``(sum sqrt(p q))^2``.
+
+    A secondary metric some related works report; included so experiment
+    tables can show both without recomputation.
+    """
+    p_vec, q_vec = _aligned(p, q)
+    p_vec = _validated(p_vec, "P")
+    q_vec = _validated(q_vec, "Q")
+    return float(np.sqrt(p_vec * q_vec).sum() ** 2)
+
+
+def _ranks(values: Sequence[float]) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    array = np.asarray(values, dtype=float)
+    order = np.argsort(array, kind="stable")
+    ranks = np.empty(len(array), dtype=float)
+    i = 0
+    while i < len(array):
+        j = i
+        while j + 1 < len(array) and math.isclose(
+            array[order[j + 1]], array[order[i]], abs_tol=1e-12
+        ):
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(
+    x: Sequence[float], y: Sequence[float]
+) -> float:
+    """Spearman's rho between two equal-length samples.
+
+    Computed as the Pearson correlation of the (tie-averaged) ranks.
+    Returns 0.0 when either sample is constant (correlation undefined).
+    """
+    if len(x) != len(y):
+        raise ReproError("samples must have equal length")
+    if len(x) < 2:
+        raise ReproError("need at least two observations")
+    rank_x = _ranks(x)
+    rank_y = _ranks(y)
+    std_x = rank_x.std()
+    std_y = rank_y.std()
+    if std_x < 1e-12 or std_y < 1e-12:
+        return 0.0
+    cov = ((rank_x - rank_x.mean()) * (rank_y - rank_y.mean())).mean()
+    return float(cov / (std_x * std_y))
+
+
+def relative_success_rates(
+    baseline: float, others: Mapping[str, float]
+) -> Dict[str, float]:
+    """Success rates normalized to a baseline (Fig. 18's y-axis)."""
+    if baseline <= 0:
+        raise ReproError("baseline success rate must be positive")
+    return {name: value / baseline for name, value in others.items()}
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's aggregation for relative improvements."""
+    values = list(values)
+    if not values:
+        raise ReproError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean requires positive values")
+    return float(math.exp(sum(math.log(v) for v in values) / len(values)))

@@ -1,0 +1,36 @@
+"""The paper's benchmark programs (Table I) plus the motivation extras."""
+
+from .bernstein_vazirani import bernstein_vazirani, bv_n4
+from .extras import adder_n4, fredkin_n3, qft, qft_n3, w_state, w_state_n4
+from .ghz import ghz, ghz_n4, ghz_n5
+from .linear_solver import linear_solver_n3
+from .qaoa import qaoa_maxcut, qaoa_n5
+from .qec import qec_n4
+from .suite import BenchmarkSpec, benchmark_suite, get_benchmark
+from .teleportation import teleport_n2
+from .toffoli import toffoli_n3
+from .vqe import vqe_n4
+
+__all__ = [
+    "ghz",
+    "ghz_n4",
+    "ghz_n5",
+    "teleport_n2",
+    "linear_solver_n3",
+    "toffoli_n3",
+    "vqe_n4",
+    "bernstein_vazirani",
+    "bv_n4",
+    "qec_n4",
+    "qaoa_maxcut",
+    "qaoa_n5",
+    "BenchmarkSpec",
+    "benchmark_suite",
+    "get_benchmark",
+    "w_state",
+    "w_state_n4",
+    "qft",
+    "qft_n3",
+    "fredkin_n3",
+    "adder_n4",
+]

@@ -1,0 +1,121 @@
+"""Additional benchmark programs beyond the paper's Table I.
+
+These widen the evaluation surface in the same spirit as the QASMBench
+suite the paper draws from: entanglement structure (W state), arithmetic
+(half adder), reversible logic (Fredkin), and phase-heavy circuits (QFT)
+stress native gate selection differently than the Table I programs.
+All are registered as suite extras (``benchmark_suite(include_extras=
+True)``) and verified against their exact ideal outputs in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["w_state", "w_state_n4", "qft", "qft_n3", "fredkin_n3", "adder_n4"]
+
+
+def _controlled_ry(
+    circuit: QuantumCircuit, theta: float, control: int, target: int
+) -> None:
+    """CRY via two CNOTs (the standard compilation)."""
+    circuit.ry(theta / 2.0, target)
+    circuit.cnot(control, target)
+    circuit.ry(-theta / 2.0, target)
+    circuit.cnot(control, target)
+
+
+def w_state(num_qubits: int) -> QuantumCircuit:
+    """Prepare the n-qubit W state (uniform over one-hot bitstrings).
+
+    Standard cascade: excite qubit 0, then repeatedly split the
+    excitation with controlled-RY rotations of angle
+    ``2 arccos(sqrt(1/(n-i)))`` followed by a CNOT back. Uses
+    ``3 (n-1)`` CNOTs.
+    """
+    if num_qubits < 2:
+        raise ValueError("W state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"W_n{num_qubits}")
+    circuit.x(0)
+    for i in range(num_qubits - 1):
+        theta = 2.0 * math.acos(math.sqrt(1.0 / (num_qubits - i)))
+        _controlled_ry(circuit, theta, i, i + 1)
+        circuit.cnot(i + 1, i)
+    return circuit.measure_all()
+
+
+def w_state_n4() -> QuantumCircuit:
+    """Suite extra: 4-qubit W state, 9 CNOTs."""
+    return w_state(4)
+
+
+def qft(num_qubits: int) -> QuantumCircuit:
+    """Quantum Fourier transform with final swaps, input |1...1>.
+
+    CPHASE-heavy by construction — a stress test for nativization since
+    the controlled-phase ladder can run through any of the three
+    natives once expressed as CNOT + RZ pairs. The |1...1> input gives
+    a known non-uniform output phase pattern (uniform magnitudes).
+    """
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"QFT_n{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.x(qubit)
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(
+            range(target + 1, num_qubits), start=2
+        ):
+            # Controlled phase via CNOT conjugation keeps the circuit in
+            # the CNOT-site vocabulary ANGEL optimizes.
+            angle = math.pi / (2 ** (offset - 1))
+            circuit.rz(angle / 2.0, control)
+            circuit.cnot(control, target)
+            circuit.rz(-angle / 2.0, target)
+            circuit.cnot(control, target)
+            circuit.rz(angle / 2.0, target)
+    for qubit in range(num_qubits // 2):
+        circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit.measure_all()
+
+
+def qft_n3() -> QuantumCircuit:
+    """Suite extra: 3-qubit QFT (6 CNOTs + 1 SWAP)."""
+    return qft(3)
+
+
+def fredkin_n3() -> QuantumCircuit:
+    """Controlled-SWAP on |110>: control 0 set, so qubits 1, 2 swap.
+
+    Fredkin = CNOT(2,1) . Toffoli(0,1,2) . CNOT(2,1); ideal output
+    ``101``. 8 logical CNOTs after the Toffoli expansion.
+    """
+    circuit = QuantumCircuit(3, name="fredkin_n3")
+    circuit.x(0)
+    circuit.x(1)
+    circuit.cnot(2, 1)
+    circuit.toffoli(0, 1, 2)
+    circuit.cnot(2, 1)
+    return circuit.measure_all()
+
+
+def adder_n4() -> QuantumCircuit:
+    """One-bit full adder: a=1, b=1, carry-in=1 -> sum=1, carry-out=1.
+
+    Qubits: 0=a, 1=b, 2=carry-in/sum, 3=carry-out. Two Toffolis build
+    the carry, CNOTs build the sum; ideal output ``1111`` (a and b are
+    kept). 15 logical CNOTs after Toffoli expansion.
+    """
+    circuit = QuantumCircuit(4, name="adder_n4")
+    circuit.x(0)
+    circuit.x(1)
+    circuit.x(2)
+    circuit.toffoli(0, 1, 3)
+    circuit.cnot(0, 1)
+    circuit.toffoli(1, 2, 3)
+    circuit.cnot(1, 2)
+    circuit.cnot(0, 1)
+    return circuit.measure_all()

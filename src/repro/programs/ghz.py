@@ -1,0 +1,38 @@
+"""Greenberger–Horne–Zeilinger state preparation benchmarks.
+
+The n-qubit GHZ circuit (H then a CNOT chain) ideally outputs ``0^n`` and
+``1^n`` with probability 1/2 each. The paper uses GHZ_n4 in the main
+evaluation (Table I) and GHZ_n5 for the 81-sequence motivation sweep
+(Fig. 3); its highly entangled output makes it very sensitive to
+two-qubit gate errors, which is exactly why it is the paper's
+workhorse example.
+"""
+
+from __future__ import annotations
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["ghz", "ghz_n4", "ghz_n5"]
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    """The n-qubit GHZ preparation circuit, all qubits measured.
+
+    Uses ``num_qubits - 1`` CNOTs in a linear chain.
+    """
+    circuit = QuantumCircuit(num_qubits, name=f"GHZ_n{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cnot(qubit, qubit + 1)
+    return circuit.measure_all()
+
+
+def ghz_n4() -> QuantumCircuit:
+    """Table I entry: 4 qubits, 3 CNOTs."""
+    return ghz(4)
+
+
+def ghz_n5() -> QuantumCircuit:
+    """The Fig. 3 motivation benchmark: 5 qubits, 4 CNOTs (3^4 = 81
+    native gate combinations)."""
+    return ghz(5)

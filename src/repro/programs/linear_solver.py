@@ -1,0 +1,34 @@
+"""A 3-qubit linear-solver kernel (after QASMBench's linearsolver_n3).
+
+A miniature HHL-style circuit: a rotation encodes the right-hand side, an
+ancilla-controlled pair of rotations applies the (inverted-eigenvalue)
+conditional dynamics, and the uncompute mirrors the encode. It uses 4
+CNOTs on two qubit pairs, which gives the 81-sequence space the paper
+sweeps in Fig. 19.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["linear_solver_n3"]
+
+
+def linear_solver_n3() -> QuantumCircuit:
+    """Table I entry: 3 qubits, 4 CNOTs (two on each of two pairs)."""
+    circuit = QuantumCircuit(3, name="lin_sol_n3")
+    # Encode |b> on qubit 1.
+    circuit.ry(math.pi / 4, 1)
+    # Controlled rotation block between qubits 0 and 1.
+    circuit.cnot(0, 1)
+    circuit.ry(-math.pi / 8, 1)
+    circuit.cnot(0, 1)
+    circuit.ry(math.pi / 8, 1)
+    # Readout-rotation block onto the solution register (qubit 2).
+    circuit.cnot(1, 2)
+    circuit.ry(math.pi / 6, 2)
+    circuit.cnot(1, 2)
+    circuit.ry(-math.pi / 6, 2)
+    return circuit.measure_all()

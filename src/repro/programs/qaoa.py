@@ -1,0 +1,46 @@
+"""QAOA MaxCut benchmark.
+
+A depth-1 QAOA circuit for MaxCut: Hadamard superposition, one
+``exp(-i gamma Z_i Z_j)`` phase separator per graph edge (two CNOTs
+around an RZ), and an RX mixer layer. The Table I instance (QAOA_n5)
+uses 5 qubits with a 2-edge graph — 4 CNOTs, matching the paper's count
+— with fixed "optimized" angles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["qaoa_maxcut", "qaoa_n5"]
+
+
+def qaoa_maxcut(
+    num_qubits: int,
+    edges: Sequence[Tuple[int, int]],
+    gamma: float,
+    beta: float,
+) -> QuantumCircuit:
+    """Depth-1 QAOA for MaxCut on the given edge list.
+
+    Each edge contributes ``CNOT(i,j); RZ(2*gamma, j); CNOT(i,j)``.
+    """
+    circuit = QuantumCircuit(num_qubits, name=f"QAOA_n{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for i, j in edges:
+        circuit.cnot(i, j)
+        circuit.rz(2.0 * gamma, j)
+        circuit.cnot(i, j)
+    for qubit in range(num_qubits):
+        circuit.rx(2.0 * beta, qubit)
+    return circuit.measure_all()
+
+
+def qaoa_n5() -> QuantumCircuit:
+    """Table I entry: 5 qubits, 4 CNOTs (two disjoint edges)."""
+    return qaoa_maxcut(
+        5, edges=((0, 1), (2, 3)), gamma=0.8, beta=0.55
+    )

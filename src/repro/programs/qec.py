@@ -1,0 +1,34 @@
+"""Four-qubit quantum error-detection benchmark (after Córcoles et al.).
+
+Two code qubits hold an entangled logical state; a bit-flip syndrome
+qubit checks ZZ parity via two CNOTs and a phase-flip syndrome qubit
+checks XX parity via a Hadamard-conjugated CNOT pair. With the logical
+preparation CNOT this is Table I's QEC_n4: 4 qubits, 5 CNOTs. In the
+noise-free case both syndromes read 0.
+"""
+
+from __future__ import annotations
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["qec_n4"]
+
+
+def qec_n4() -> QuantumCircuit:
+    """Table I entry: 4 qubits, 5 CNOTs.
+
+    Qubits 0-1 are data; qubit 2 detects bit flips, qubit 3 phase flips.
+    """
+    circuit = QuantumCircuit(4, name="QEC_n4")
+    # Prepare the logical |+>_L = (|00> + |11>)/sqrt(2) state.
+    circuit.h(0)
+    circuit.cnot(0, 1)
+    # ZZ parity onto syndrome qubit 2.
+    circuit.cnot(0, 2)
+    circuit.cnot(1, 2)
+    # XX parity onto syndrome qubit 3.
+    circuit.h(3)
+    circuit.cnot(3, 0)
+    circuit.cnot(3, 1)
+    circuit.h(3)
+    return circuit.measure_all()

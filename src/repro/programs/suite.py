@@ -1,0 +1,105 @@
+"""The evaluation benchmark suite (paper Table I).
+
+Each entry carries the logical circuit builder plus the qubit/CNOT
+figures the paper tabulates. CNOT counts are *logical* (pre-routing);
+routed counts depend on the layout and are reported by the experiment
+harness alongside (toff_n3 grows from 6 to 9 on a line, BV_n4 from 3 to
+6, exactly the post-SWAP numbers the paper quotes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import ReproError
+from .bernstein_vazirani import bv_n4
+from .ghz import ghz_n4, ghz_n5
+from .linear_solver import linear_solver_n3
+from .qaoa import qaoa_n5
+from .qec import qec_n4
+from .extras import adder_n4, fredkin_n3, qft_n3, w_state_n4
+from .teleportation import teleport_n2
+from .toffoli import toffoli_n3
+from .vqe import vqe_n4
+
+__all__ = ["BenchmarkSpec", "benchmark_suite", "get_benchmark"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One row of Table I.
+
+    Attributes:
+        name: Canonical benchmark name (matches the paper's).
+        description: What the program computes.
+        qubits: Logical register width.
+        logical_cnots: CNOTs before routing.
+        builder: Zero-argument circuit factory.
+    """
+
+    name: str
+    description: str
+    qubits: int
+    logical_cnots: int
+    builder: Callable[[], QuantumCircuit]
+
+    def build(self) -> QuantumCircuit:
+        circuit = self.builder()
+        if circuit.num_qubits != self.qubits:
+            raise ReproError(
+                f"{self.name}: builder produced {circuit.num_qubits} qubits,"
+                f" spec says {self.qubits}"
+            )
+        return circuit
+
+
+_SUITE: Tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(
+        "tele_n2", "Teleportation (state transfer)", 2, 2, teleport_n2
+    ),
+    BenchmarkSpec(
+        "lin_sol_n3", "Linear Solver", 3, 4, linear_solver_n3
+    ),
+    BenchmarkSpec("toff_n3", "Toffoli Gate", 3, 6, toffoli_n3),
+    BenchmarkSpec(
+        "GHZ_n4", "Greenberger-Horne-Zeilinger", 4, 3, ghz_n4
+    ),
+    BenchmarkSpec(
+        "VQE_n4", "Variational Quantum Eigensolver", 4, 3, vqe_n4
+    ),
+    BenchmarkSpec("BV_n4", "Bernstein-Vazirani", 4, 3, bv_n4),
+    BenchmarkSpec("QEC_n4", "Quantum Error Correction", 4, 5, qec_n4),
+    BenchmarkSpec(
+        "QAOA_n5", "Quantum Approximate Optimization", 5, 4, qaoa_n5
+    ),
+)
+
+# Extras: GHZ_n5 powers the Fig. 3 motivation sweep; the rest widen the
+# workload surface beyond the paper (see programs/extras.py).
+_EXTRAS: Tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(
+        "GHZ_n5", "5-qubit GHZ (Fig. 3 motivation)", 5, 4, ghz_n5
+    ),
+    BenchmarkSpec("W_n4", "4-qubit W state", 4, 9, w_state_n4),
+    BenchmarkSpec("QFT_n3", "Quantum Fourier Transform", 3, 6, qft_n3),
+    BenchmarkSpec("fredkin_n3", "Controlled-SWAP", 3, 8, fredkin_n3),
+    BenchmarkSpec("adder_n4", "One-bit full adder", 4, 15, adder_n4),
+)
+
+def benchmark_suite(include_extras: bool = False) -> List[BenchmarkSpec]:
+    """The Table I suite, optionally with non-Table-I extras."""
+    suite = list(_SUITE)
+    if include_extras:
+        suite.extend(_EXTRAS)
+    return suite
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by its Table I name (case-insensitive)."""
+    for spec in (*_SUITE, *_EXTRAS):
+        if spec.name.lower() == name.lower():
+            return spec
+    known = ", ".join(s.name for s in (*_SUITE, *_EXTRAS))
+    raise ReproError(f"unknown benchmark {name!r}; known: {known}")

@@ -1,0 +1,28 @@
+"""Two-qubit state-transfer ("teleportation") benchmark.
+
+Table I's smallest entry (tele_n2: 2 qubits, 2 CNOTs). With the receiver
+initialized to |0>, two CNOTs move an arbitrary state across a link:
+
+``CNOT(0,1); CNOT(1,0)`` maps ``|psi>|0> -> |0>|psi>``.
+
+The sender is prepared with a fixed RY rotation so the ideal output is a
+non-uniform two-outcome distribution — informative for the success-rate
+metric without being a computational-basis triviality.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["teleport_n2"]
+
+
+def teleport_n2(theta: float = math.pi / 3) -> QuantumCircuit:
+    """State transfer of ``RY(theta)|0>`` from qubit 0 to qubit 1."""
+    circuit = QuantumCircuit(2, name="tele_n2")
+    circuit.ry(theta, 0)
+    circuit.cnot(0, 1)
+    circuit.cnot(1, 0)
+    return circuit.measure_all()

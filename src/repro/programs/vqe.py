@@ -1,0 +1,41 @@
+"""A 4-qubit VQE hardware-efficient ansatz benchmark.
+
+One entangling layer of a hardware-efficient ansatz at *fixed* angles
+(as if taken from a converged optimizer run): an RY rotation layer, a
+linear CNOT chain, and a second RY layer. This matches how VQE circuits
+reach the hardware — by execution time the parameters are constants —
+and gives Table I's VQE_n4 (4 qubits, 3 CNOTs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["vqe_n4"]
+
+#: "Converged" angles used by the benchmark instance (arbitrary but
+#: fixed: realistic magnitudes, no special structure).
+_DEFAULT_THETAS = (0.42, -1.1, 0.73, 2.0, -0.35, 1.4, 0.9, -0.6)
+
+
+def vqe_n4(thetas: Optional[Sequence[float]] = None) -> QuantumCircuit:
+    """Table I entry: 4 qubits, 3 CNOTs, two RY layers.
+
+    Args:
+        thetas: Eight rotation angles (two layers of four); defaults to
+            the fixed benchmark instance.
+    """
+    angles = tuple(thetas) if thetas is not None else _DEFAULT_THETAS
+    if len(angles) != 8:
+        raise ValueError("vqe_n4 needs exactly 8 angles")
+    circuit = QuantumCircuit(4, name="VQE_n4")
+    for qubit in range(4):
+        circuit.ry(angles[qubit], qubit)
+    for qubit in range(3):
+        circuit.cnot(qubit, qubit + 1)
+    for qubit in range(4):
+        circuit.ry(angles[4 + qubit], qubit)
+    return circuit.measure_all()

@@ -1,0 +1,228 @@
+"""Kraus-operator quantum channels.
+
+These are the noise primitives the simulated device composes per gate:
+depolarizing (incoherent scrambling), amplitude damping (T1 energy
+relaxation), phase damping (pure T2 dephasing), coherent error (a unitary
+channel — the *state-dependent* component central to the paper's
+argument), and classical readout bit-flip confusion.
+
+Every channel is a :class:`KrausChannel` — a list of Kraus operators
+satisfying the completeness relation ``sum_i K_i^dag K_i = I`` — so the
+density-matrix simulator can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..linalg import kron_n
+
+__all__ = [
+    "KrausChannel",
+    "identity_channel",
+    "unitary_channel",
+    "depolarizing_channel",
+    "two_qubit_depolarizing_channel",
+    "amplitude_damping_channel",
+    "phase_damping_channel",
+    "thermal_relaxation_channel",
+    "compose_channels",
+    "ReadoutError",
+]
+
+_PAULIS = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+@dataclass(frozen=True)
+class KrausChannel:
+    """A completely-positive trace-preserving map in Kraus form.
+
+    Attributes:
+        operators: The Kraus operators, each ``d x d``.
+        label: Human-readable description used in noise-model reports.
+    """
+
+    operators: Tuple[np.ndarray, ...]
+    label: str = "channel"
+
+    def __post_init__(self) -> None:
+        if not self.operators:
+            raise SimulationError("channel needs at least one Kraus operator")
+        dim = self.operators[0].shape[0]
+        for op in self.operators:
+            if op.shape != (dim, dim):
+                raise SimulationError("Kraus operators must share a shape")
+
+    @property
+    def dim(self) -> int:
+        return self.operators[0].shape[0]
+
+    @property
+    def num_qubits(self) -> int:
+        return int(math.log2(self.dim))
+
+    def is_trace_preserving(self, atol: float = 1e-8) -> bool:
+        total = sum(op.conj().T @ op for op in self.operators)
+        return bool(np.allclose(total, np.eye(self.dim), atol=atol))
+
+    def apply_to(self, rho: np.ndarray) -> np.ndarray:
+        """Apply the channel to a density matrix of matching dimension."""
+        return sum(op @ rho @ op.conj().T for op in self.operators)
+
+    def compose_unitary_before(self, unitary: np.ndarray) -> "KrausChannel":
+        """The channel that first applies *unitary*, then this channel."""
+        return KrausChannel(
+            tuple(op @ unitary for op in self.operators),
+            label=f"{self.label}∘U",
+        )
+
+
+def identity_channel(num_qubits: int = 1) -> KrausChannel:
+    """The do-nothing channel on *num_qubits* qubits."""
+    return KrausChannel((np.eye(2**num_qubits, dtype=complex),), "identity")
+
+
+def unitary_channel(unitary: np.ndarray, label: str = "unitary") -> KrausChannel:
+    """A purely coherent channel — the state-dependent error carrier."""
+    return KrausChannel((np.asarray(unitary, dtype=complex),), label)
+
+
+def depolarizing_channel(probability: float) -> KrausChannel:
+    """Single-qubit depolarizing channel with error probability *p*.
+
+    With probability *p* the state is replaced by one of X, Y, Z applied
+    uniformly (the standard Pauli-twirl convention): Kraus weights
+    ``sqrt(1 - p)`` on I and ``sqrt(p/3)`` on each Pauli.
+    """
+    _check_probability(probability)
+    ops = [math.sqrt(1.0 - probability) * _PAULIS["I"]]
+    ops.extend(
+        math.sqrt(probability / 3.0) * _PAULIS[p] for p in ("X", "Y", "Z")
+    )
+    return KrausChannel(tuple(ops), f"depolarizing(p={probability:.4g})")
+
+
+def two_qubit_depolarizing_channel(probability: float) -> KrausChannel:
+    """Two-qubit depolarizing channel over the 15 non-identity Paulis."""
+    _check_probability(probability)
+    ops: List[np.ndarray] = [
+        math.sqrt(1.0 - probability) * np.eye(4, dtype=complex)
+    ]
+    weight = math.sqrt(probability / 15.0)
+    for name_a in "IXYZ":
+        for name_b in "IXYZ":
+            if name_a == name_b == "I":
+                continue
+            ops.append(weight * kron_n(_PAULIS[name_a], _PAULIS[name_b]))
+    return KrausChannel(tuple(ops), f"depolarizing2(p={probability:.4g})")
+
+
+def amplitude_damping_channel(gamma: float) -> KrausChannel:
+    """T1 relaxation: |1> decays to |0> with probability *gamma*."""
+    _check_probability(gamma)
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+    return KrausChannel((k0, k1), f"amplitude_damping(g={gamma:.4g})")
+
+
+def phase_damping_channel(lam: float) -> KrausChannel:
+    """Pure dephasing: off-diagonals shrink by ``sqrt(1 - lambda)``."""
+    _check_probability(lam)
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - lam)]], dtype=complex)
+    k1 = np.array([[0.0, 0.0], [0.0, math.sqrt(lam)]], dtype=complex)
+    return KrausChannel((k0, k1), f"phase_damping(l={lam:.4g})")
+
+
+def thermal_relaxation_channel(
+    duration: float, t1: float, t2: float
+) -> KrausChannel:
+    """Combined T1/T2 decay over a pulse of the given *duration*.
+
+    Implemented as amplitude damping with ``gamma = 1 - exp(-t/T1)``
+    composed with pure dephasing chosen so the total off-diagonal decay
+    matches ``exp(-t/T2)`` (requires the physical constraint
+    ``T2 <= 2 T1``).
+    """
+    if duration < 0:
+        raise SimulationError("duration must be non-negative")
+    if t1 <= 0 or t2 <= 0:
+        raise SimulationError("T1 and T2 must be positive")
+    if t2 > 2 * t1 + 1e-12:
+        raise SimulationError("unphysical relaxation: T2 > 2*T1")
+    gamma = 1.0 - math.exp(-duration / t1)
+    total_coherence = math.exp(-duration / t2)
+    # amplitude damping alone decays coherence by sqrt(1-gamma); the
+    # residual dephasing must supply the rest.
+    residual = total_coherence / math.sqrt(1.0 - gamma) if gamma < 1 else 0.0
+    residual = min(1.0, max(0.0, residual))
+    lam = 1.0 - residual**2
+    channel = compose_channels(
+        amplitude_damping_channel(gamma), phase_damping_channel(lam)
+    )
+    return KrausChannel(
+        channel.operators,
+        f"thermal(t={duration:.3g},T1={t1:.3g},T2={t2:.3g})",
+    )
+
+
+def compose_channels(first: KrausChannel, second: KrausChannel) -> KrausChannel:
+    """The channel applying *first* then *second* (both same dimension)."""
+    if first.dim != second.dim:
+        raise SimulationError("cannot compose channels of different dims")
+    ops = tuple(
+        b @ a for a in first.operators for b in second.operators
+    )
+    return KrausChannel(ops, f"{second.label}∘{first.label}")
+
+
+@dataclass(frozen=True)
+class ReadoutError:
+    """Classical measurement confusion for one qubit.
+
+    Attributes:
+        p0_given_1: Probability of reading 0 when the qubit was 1 (T1-like
+            decay during readout dominates, so typically larger).
+        p1_given_0: Probability of reading 1 when the qubit was 0.
+    """
+
+    p0_given_1: float
+    p1_given_0: float
+
+    def __post_init__(self) -> None:
+        _check_probability(self.p0_given_1)
+        _check_probability(self.p1_given_0)
+
+    @property
+    def assignment_fidelity(self) -> float:
+        """Average probability of a correct readout, ``1 - (e01+e10)/2``."""
+        return 1.0 - 0.5 * (self.p0_given_1 + self.p1_given_0)
+
+    def confusion_matrix(self) -> np.ndarray:
+        """Column-stochastic matrix ``M[observed, actual]``."""
+        return np.array(
+            [
+                [1.0 - self.p1_given_0, self.p0_given_1],
+                [self.p1_given_0, 1.0 - self.p0_given_1],
+            ]
+        )
+
+    def flip(self, bit: int, rng: np.random.Generator) -> int:
+        """Sample the observed value for an actual *bit*."""
+        if bit:
+            return 0 if rng.random() < self.p0_given_1 else 1
+        return 1 if rng.random() < self.p1_given_0 else 0
+
+
+def _check_probability(value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise SimulationError(f"probability {value} outside [0, 1]")

@@ -1,0 +1,130 @@
+"""Per-instruction noise specifications for the density-matrix simulator.
+
+A :class:`NoiseModel` maps each executed gate to the error operations that
+follow it:
+
+1. an optional *coherent* error unitary (over-rotation / parasitic ZZ) —
+   the state-dependent component that randomized benchmarking averages
+   away but applications feel (the paper's core physics);
+2. a sequence of Kraus channels (depolarizing, thermal relaxation, ...).
+
+Specs are keyed by ``(gate name, qubit tuple)`` with fallbacks to
+``(gate name, None)`` (any qubits) so tests can install blanket noise in
+one line while the device model installs fully link-specific physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.gates import Gate
+from ..exceptions import SimulationError
+from .channels import KrausChannel, ReadoutError, unitary_channel
+
+__all__ = ["GateNoiseSpec", "NoiseModel"]
+
+
+@dataclass(frozen=True)
+class GateNoiseSpec:
+    """Noise attached to one gate type/location.
+
+    Attributes:
+        coherent: Optional unitary error applied right after the ideal
+            gate, on the gate's own qubits (dimension must match).
+        channels: Kraus channels applied afterwards, each on the gate's
+            own qubits.
+    """
+
+    coherent: Optional[np.ndarray] = None
+    channels: Tuple[KrausChannel, ...] = ()
+
+    def operations(
+        self, qubits: Tuple[int, ...]
+    ) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
+        ops: List[Tuple[KrausChannel, Tuple[int, ...]]] = []
+        if self.coherent is not None:
+            expected = 2 ** len(qubits)
+            if self.coherent.shape != (expected, expected):
+                raise SimulationError(
+                    "coherent error dimension does not match gate arity"
+                )
+            ops.append((unitary_channel(self.coherent, "coherent_error"), qubits))
+        for channel in self.channels:
+            if channel.num_qubits != len(qubits):
+                raise SimulationError(
+                    f"channel {channel.label} arity mismatch for {qubits}"
+                )
+            ops.append((channel, qubits))
+        return ops
+
+
+class NoiseModel:
+    """Lookup table from instructions to their trailing noise operations.
+
+    Resolution order for a gate ``g`` on qubits ``q``:
+
+    1. exact key ``(g.name, tuple(sorted(q)))``;
+    2. per-gate-name default ``(g.name, None)``;
+    3. arity default ``("*1q*", None)`` or ``("*2q*", None)``.
+
+    Missing entries mean the gate is noiseless.
+    """
+
+    ANY_1Q = "*1q*"
+    ANY_2Q = "*2q*"
+
+    def __init__(self) -> None:
+        self._specs: Dict[Tuple[str, Optional[Tuple[int, ...]]], GateNoiseSpec] = {}
+        self.readout_errors: Dict[int, ReadoutError] = {}
+
+    def set_gate_noise(
+        self,
+        gate_name: str,
+        spec: GateNoiseSpec,
+        qubits: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Attach *spec* to gate *gate_name*, optionally location-specific."""
+        key_qubits = tuple(sorted(qubits)) if qubits is not None else None
+        self._specs[(gate_name, key_qubits)] = spec
+
+    def set_arity_default(self, arity: int, spec: GateNoiseSpec) -> None:
+        """Blanket noise for all 1- or 2-qubit gates without a closer match."""
+        if arity == 1:
+            self._specs[(self.ANY_1Q, None)] = spec
+        elif arity == 2:
+            self._specs[(self.ANY_2Q, None)] = spec
+        else:
+            raise SimulationError("arity defaults support 1 or 2 qubits only")
+
+    def set_readout_error(self, qubit: int, error: ReadoutError) -> None:
+        self.readout_errors[qubit] = error
+
+    def readout_error_list(self, num_qubits: int) -> List[Optional[ReadoutError]]:
+        """Per-qubit readout errors as a dense list for the simulator."""
+        return [self.readout_errors.get(q) for q in range(num_qubits)]
+
+    def spec_for(self, gate: Gate) -> Optional[GateNoiseSpec]:
+        exact = self._specs.get((gate.name, tuple(sorted(gate.qubits))))
+        if exact is not None:
+            return exact
+        by_name = self._specs.get((gate.name, None))
+        if by_name is not None:
+            return by_name
+        if len(gate.qubits) == 1:
+            return self._specs.get((self.ANY_1Q, None))
+        if len(gate.qubits) == 2:
+            return self._specs.get((self.ANY_2Q, None))
+        return None
+
+    def callback(self, gate: Gate) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
+        """The noise operations following *gate* (simulator hook)."""
+        spec = self.spec_for(gate)
+        if spec is None:
+            return []
+        return spec.operations(gate.qubits)
+
+    def is_noiseless(self) -> bool:
+        return not self._specs and not self.readout_errors

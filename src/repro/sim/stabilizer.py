@@ -1,0 +1,367 @@
+"""CHP stabilizer simulator (Aaronson–Gottesman tableau).
+
+CopyCats are (nearly) Clifford circuits precisely so their ideal output is
+classically computable (paper section IV-C). This module supplies that
+capability with the standard ``O(n^2)``-per-gate tableau algorithm, so
+pure-Clifford CopyCats scale to hundreds of qubits — far beyond the
+state-vector simulator — which substantiates the paper's tractability
+claim rather than merely asserting it.
+
+The tableau holds ``2n`` rows (n destabilizers, n stabilizers) of X/Z bit
+pairs plus a sign bit each. Gates update rows in vectorized numpy; only
+measurement does per-row work.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+from ..exceptions import SimulationError
+
+__all__ = ["StabilizerTableau", "StabilizerSimulator"]
+
+_HALF_PI = math.pi / 2.0
+
+
+class StabilizerTableau:
+    """The CHP tableau for *num_qubits* qubits, initialized to |0...0>."""
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise SimulationError("need at least one qubit")
+        self.num_qubits = num_qubits
+        n = num_qubits
+        self.x = np.zeros((2 * n, n), dtype=bool)
+        self.z = np.zeros((2 * n, n), dtype=bool)
+        self.r = np.zeros(2 * n, dtype=bool)
+        # Destabilizers X_i, stabilizers Z_i.
+        for i in range(n):
+            self.x[i, i] = True
+            self.z[n + i, i] = True
+
+    def copy(self) -> "StabilizerTableau":
+        clone = StabilizerTableau.__new__(StabilizerTableau)
+        clone.num_qubits = self.num_qubits
+        clone.x = self.x.copy()
+        clone.z = self.z.copy()
+        clone.r = self.r.copy()
+        return clone
+
+    # ------------------------------------------------------------------
+    # Clifford gates (vectorized across all tableau rows)
+    # ------------------------------------------------------------------
+    def apply_h(self, qubit: int) -> None:
+        self.r ^= self.x[:, qubit] & self.z[:, qubit]
+        self.x[:, qubit], self.z[:, qubit] = (
+            self.z[:, qubit].copy(),
+            self.x[:, qubit].copy(),
+        )
+
+    def apply_s(self, qubit: int) -> None:
+        self.r ^= self.x[:, qubit] & self.z[:, qubit]
+        self.z[:, qubit] ^= self.x[:, qubit]
+
+    def apply_sdg(self, qubit: int) -> None:
+        # S^dag = S . Z ; apply Z first then S keeps signs consistent.
+        self.apply_z(qubit)
+        self.apply_s(qubit)
+
+    def apply_x(self, qubit: int) -> None:
+        self.r ^= self.z[:, qubit]
+
+    def apply_z(self, qubit: int) -> None:
+        self.r ^= self.x[:, qubit]
+
+    def apply_y(self, qubit: int) -> None:
+        self.r ^= self.x[:, qubit] ^ self.z[:, qubit]
+
+    def apply_cnot(self, control: int, target: int) -> None:
+        self.r ^= (
+            self.x[:, control]
+            & self.z[:, target]
+            & ~(self.x[:, target] ^ self.z[:, control])
+        )
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    def apply_cz(self, qubit_a: int, qubit_b: int) -> None:
+        self.apply_h(qubit_b)
+        self.apply_cnot(qubit_a, qubit_b)
+        self.apply_h(qubit_b)
+
+    def apply_swap(self, qubit_a: int, qubit_b: int) -> None:
+        self.apply_cnot(qubit_a, qubit_b)
+        self.apply_cnot(qubit_b, qubit_a)
+        self.apply_cnot(qubit_a, qubit_b)
+
+    def apply_iswap(self, qubit_a: int, qubit_b: int) -> None:
+        # iSWAP = SWAP . CZ . (S x S)
+        self.apply_s(qubit_a)
+        self.apply_s(qubit_b)
+        self.apply_cz(qubit_a, qubit_b)
+        self.apply_swap(qubit_a, qubit_b)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row *h* <- row *h* * row *i* with correct sign accounting."""
+        phase = 2 * (int(self.r[h]) + int(self.r[i]))
+        phase += int(
+            np.sum(
+                _g(
+                    self.x[i].astype(np.int8),
+                    self.z[i].astype(np.int8),
+                    self.x[h].astype(np.int8),
+                    self.z[h].astype(np.int8),
+                )
+            )
+        )
+        self.r[h] = (phase % 4) == 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    def measurement_is_random(self, qubit: int) -> bool:
+        """True if measuring *qubit* gives a uniformly random outcome."""
+        n = self.num_qubits
+        return bool(self.x[n:, qubit].any())
+
+    def measure(
+        self, qubit: int, rng: Optional[np.random.Generator] = None,
+        forced_outcome: Optional[int] = None,
+    ) -> int:
+        """Measure *qubit* in the Z basis, collapsing the tableau.
+
+        For a random outcome, *forced_outcome* (0/1) selects the branch if
+        given, otherwise *rng* samples it. Deterministic outcomes ignore
+        both.
+        """
+        n = self.num_qubits
+        stab_rows = np.nonzero(self.x[n:, qubit])[0]
+        if stab_rows.size:
+            p = int(stab_rows[0]) + n
+            for row in range(2 * n):
+                if row != p and self.x[row, qubit]:
+                    self._rowsum(row, p)
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
+            self.r[p - n] = self.r[p]
+            self.x[p] = False
+            self.z[p] = False
+            self.z[p, qubit] = True
+            if forced_outcome is not None:
+                outcome = int(forced_outcome)
+            elif rng is not None:
+                outcome = int(rng.integers(2))
+            else:
+                raise SimulationError(
+                    "random measurement needs rng or forced_outcome"
+                )
+            self.r[p] = bool(outcome)
+            return outcome
+        # Deterministic: accumulate into a scratch row.
+        scratch_x = np.zeros(n, dtype=bool)
+        scratch_z = np.zeros(n, dtype=bool)
+        scratch_r = 0
+        for i in range(n):
+            if self.x[i, qubit]:
+                phase = 2 * (scratch_r + int(self.r[i + n]))
+                phase += int(
+                    np.sum(
+                        _g(
+                            self.x[i + n].astype(np.int8),
+                            self.z[i + n].astype(np.int8),
+                            scratch_x.astype(np.int8),
+                            scratch_z.astype(np.int8),
+                        )
+                    )
+                )
+                scratch_r = 1 if (phase % 4) == 2 else 0
+                scratch_x ^= self.x[i + n]
+                scratch_z ^= self.z[i + n]
+        return scratch_r
+
+
+def _g(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> np.ndarray:
+    """Aaronson–Gottesman phase function g, vectorized over qubits."""
+    # g = 0 when (x1,z1) == (0,0);
+    # for (1,1): z2 - x2; for (1,0): z2*(2*x2-1); for (0,1): x2*(1-2*z2)
+    result = np.zeros_like(x1, dtype=np.int64)
+    case_y = (x1 == 1) & (z1 == 1)
+    case_x = (x1 == 1) & (z1 == 0)
+    case_z = (x1 == 0) & (z1 == 1)
+    result[case_y] = (z2 - x2)[case_y]
+    result[case_x] = (z2 * (2 * x2 - 1))[case_x]
+    result[case_z] = (x2 * (1 - 2 * z2))[case_z]
+    return result
+
+
+_GATE_APPLIERS = {
+    "id": lambda tab, q: None,
+    "x": lambda tab, q: tab.apply_x(*q),
+    "y": lambda tab, q: tab.apply_y(*q),
+    "z": lambda tab, q: tab.apply_z(*q),
+    "h": lambda tab, q: tab.apply_h(*q),
+    "s": lambda tab, q: tab.apply_s(*q),
+    "sdg": lambda tab, q: tab.apply_sdg(*q),
+    "cnot": lambda tab, q: tab.apply_cnot(*q),
+    "cz": lambda tab, q: tab.apply_cz(*q),
+    "swap": lambda tab, q: tab.apply_swap(*q),
+    "iswap": lambda tab, q: tab.apply_iswap(*q),
+}
+
+
+def _apply_parametric(tableau: StabilizerTableau, gate: Gate) -> None:
+    """Map Clifford-angle parametric gates onto tableau primitives."""
+    name = gate.name
+    if name in ("rz", "phase"):
+        theta = gate.params[0] if name == "rz" else gate.params[0]
+        steps = _quarter_turns(theta)
+        for _ in range(steps % 4):
+            tableau.apply_s(gate.qubits[0])
+        return
+    if name == "rx":
+        steps = _quarter_turns(gate.params[0])
+        qubit = gate.qubits[0]
+        # RX(pi/2) = H . S . H up to phase
+        for _ in range(steps % 4):
+            tableau.apply_h(qubit)
+            tableau.apply_s(qubit)
+            tableau.apply_h(qubit)
+        return
+    if name == "ry":
+        steps = _quarter_turns(gate.params[0])
+        qubit = gate.qubits[0]
+        # RY(pi/2) = X . H up to global phase (verified numerically).
+        for _ in range(steps % 4):
+            tableau.apply_h(qubit)
+            tableau.apply_x(qubit)
+        return
+    if name == "xy":
+        if _quarter_turns(gate.params[0]) % 4 == 2:
+            tableau.apply_iswap(gate.qubits[0], gate.qubits[1])
+            return
+        if _quarter_turns(gate.params[0]) % 4 == 0:
+            return
+        raise SimulationError(f"non-Clifford xy angle {gate.params[0]}")
+    if name == "cphase":
+        steps = _quarter_turns(gate.params[0])
+        if steps % 2:
+            raise SimulationError(
+                f"non-Clifford cphase angle {gate.params[0]}"
+            )
+        if steps % 4 == 2:
+            tableau.apply_cz(gate.qubits[0], gate.qubits[1])
+        return
+    if name == "u3":
+        raise SimulationError(
+            "u3 gates are not supported on the stabilizer backend; "
+            "replace them with Cliffords first (CopyCat does this)"
+        )
+    raise SimulationError(f"gate {name!r} is not a stabilizer operation")
+
+
+def _quarter_turns(theta: float, atol: float = 1e-9) -> int:
+    ratio = theta / _HALF_PI
+    steps = round(ratio)
+    if abs(ratio - steps) > atol:
+        raise SimulationError(f"angle {theta} is not a multiple of pi/2")
+    return int(steps) % 4
+
+
+class StabilizerSimulator:
+    """Run Clifford circuits on the tableau backend."""
+
+    #: Exact-distribution branching cap: a Clifford circuit's output
+    #: distribution is uniform over at most 2^(random measurements)
+    #: outcomes; beyond this we refuse rather than silently truncate.
+    max_branches: int = 1 << 16
+
+    def run(
+        self, circuit: QuantumCircuit, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[StabilizerTableau, Dict[int, int]]:
+        """Execute *circuit*; returns the final tableau and measurements.
+
+        Mid-circuit measurements are sampled with *rng*. Returns a map of
+        measured qubit -> outcome for the measurement instructions
+        encountered (later measurements of a qubit overwrite earlier).
+        """
+        tableau = StabilizerTableau(circuit.num_qubits)
+        outcomes: Dict[int, int] = {}
+        for gate in circuit:
+            if gate.is_barrier:
+                continue
+            if gate.is_measurement:
+                outcomes[gate.qubits[0]] = tableau.measure(gate.qubits[0], rng)
+                continue
+            self._apply(tableau, gate)
+        return tableau, outcomes
+
+    @staticmethod
+    def _apply(tableau: StabilizerTableau, gate: Gate) -> None:
+        applier = _GATE_APPLIERS.get(gate.name)
+        if applier is not None and not gate.params:
+            applier(tableau, gate.qubits)
+            return
+        _apply_parametric(tableau, gate)
+
+    def distribution(self, circuit: QuantumCircuit) -> Dict[str, float]:
+        """Exact output distribution over the measured qubits.
+
+        Clifford outputs are uniform over an affine subspace; we branch on
+        each random measurement (both outcomes, equal weight) and collect
+        leaves. Raises if the subspace exceeds :attr:`max_branches`.
+        """
+        measured = circuit.measured_qubits() or tuple(range(circuit.num_qubits))
+        base = StabilizerTableau(circuit.num_qubits)
+        for gate in circuit:
+            if gate.is_barrier or gate.is_measurement:
+                continue
+            self._apply(base, gate)
+
+        results: Dict[str, float] = {}
+        stack: List[Tuple[StabilizerTableau, int, str, float]] = [
+            (base, 0, "", 1.0)
+        ]
+        while stack:
+            tableau, position, prefix, weight = stack.pop()
+            if position == len(measured):
+                results[prefix] = results.get(prefix, 0.0) + weight
+                continue
+            qubit = measured[position]
+            if tableau.measurement_is_random(qubit):
+                if len(stack) + len(results) > self.max_branches:
+                    raise SimulationError(
+                        "exact distribution support exceeds max_branches"
+                    )
+                for outcome in (0, 1):
+                    branch = tableau.copy()
+                    branch.measure(qubit, forced_outcome=outcome)
+                    stack.append(
+                        (branch, position + 1, prefix + str(outcome), weight / 2)
+                    )
+            else:
+                outcome = tableau.measure(qubit)
+                stack.append(
+                    (tableau, position + 1, prefix + str(outcome), weight)
+                )
+        return results
+
+    def sample(
+        self, circuit: QuantumCircuit, shots: int, rng: np.random.Generator
+    ) -> Dict[str, int]:
+        """Shot-sampled counts from the exact Clifford distribution."""
+        distribution = self.distribution(circuit)
+        keys = sorted(distribution)
+        probs = np.array([distribution[k] for k in keys])
+        probs = probs / probs.sum()
+        counts: Dict[str, int] = {}
+        for outcome in rng.choice(len(keys), size=shots, p=probs):
+            key = keys[int(outcome)]
+            counts[key] = counts.get(key, 0) + 1
+        return counts

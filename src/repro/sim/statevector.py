@@ -1,0 +1,182 @@
+"""Ideal state-vector simulator.
+
+This is the library's noise-free reference executor: it produces the exact
+output distribution ``P`` used in the Success-Rate metric (paper Eq. 2)
+and the ideal outputs of CopyCats that retain a few non-Clifford gates.
+
+The state is stored as a rank-``n`` tensor of amplitudes in big-endian
+order (qubit 0 = axis 0 = most significant bit). Gates are applied by
+contracting their matrix against the corresponding axes, so cost is
+``O(2^n)`` per gate rather than ``O(4^n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+from ..exceptions import SimulationError
+
+__all__ = ["StateVector", "StatevectorSimulator", "ideal_distribution"]
+
+_MAX_QUBITS = 24
+
+
+class StateVector:
+    """A mutable pure state on *num_qubits* qubits.
+
+    Supports in-place gate application, probability queries, and
+    measurement sampling. Amplitudes are complex128.
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise SimulationError("need at least one qubit")
+        if num_qubits > _MAX_QUBITS:
+            raise SimulationError(
+                f"statevector limited to {_MAX_QUBITS} qubits, got {num_qubits}"
+            )
+        self.num_qubits = num_qubits
+        self._tensor = np.zeros((2,) * num_qubits, dtype=complex)
+        self._tensor[(0,) * num_qubits] = 1.0
+
+    @classmethod
+    def from_amplitudes(cls, amplitudes: np.ndarray) -> "StateVector":
+        """Build a state from a flat amplitude vector (big-endian)."""
+        amplitudes = np.asarray(amplitudes, dtype=complex).ravel()
+        num_qubits = int(np.log2(amplitudes.size))
+        if 2**num_qubits != amplitudes.size:
+            raise SimulationError("amplitude vector length must be 2^n")
+        state = cls(num_qubits)
+        state._tensor = amplitudes.reshape((2,) * num_qubits).copy()
+        return state
+
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """Flat copy of the amplitude vector, big-endian index order."""
+        return self._tensor.reshape(-1).copy()
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._tensor))
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Tuple[int, ...]) -> None:
+        """Apply a ``2^k x 2^k`` matrix to the given *k* qubits in place."""
+        k = len(qubits)
+        matrix = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+        # Contract matrix axes k..2k-1 with the state axes for `qubits`;
+        # tensordot moves the acted-on axes to the front, so restore order.
+        contracted = np.tensordot(
+            matrix, self._tensor, axes=(list(range(k, 2 * k)), list(qubits))
+        )
+        self._tensor = self._restore_axes(contracted, qubits)
+
+    @staticmethod
+    def _permutation_after_tensordot(
+        num_qubits: int, qubits: Tuple[int, ...]
+    ) -> List[int]:
+        """Axis order mapping tensordot output back to qubit order.
+
+        After ``tensordot`` the output axes are ``[q for q in qubits] +
+        [others in increasing order]``. We need axis *i* of the result to
+        be qubit *i*.
+        """
+        k = len(qubits)
+        others = [q for q in range(num_qubits) if q not in qubits]
+        current = list(qubits) + others  # current axis -> qubit label
+        desired = list(range(num_qubits))
+        return [current.index(q) for q in desired]
+
+    def _restore_axes(self, tensor: np.ndarray, qubits: Tuple[int, ...]) -> np.ndarray:
+        perm = self._permutation_after_tensordot(self.num_qubits, qubits)
+        return np.transpose(tensor, perm)
+
+    def apply_gate(self, gate: Gate) -> None:
+        if not gate.is_unitary:
+            raise SimulationError(f"cannot apply non-unitary {gate.name!r}")
+        self.apply_matrix(gate.matrix(), gate.qubits)
+
+    def probabilities(self, qubits: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Measurement probabilities over *qubits* (default: all).
+
+        The returned vector is indexed big-endian over the listed qubits
+        in the given order.
+        """
+        probs = np.abs(self._tensor) ** 2
+        if qubits is None:
+            return probs.reshape(-1)
+        qubits = tuple(qubits)
+        others = tuple(q for q in range(self.num_qubits) if q not in qubits)
+        marginal = probs.sum(axis=others) if others else probs
+        # marginal axes are the kept qubits in increasing order; reorder to
+        # match the requested order.
+        kept_sorted = tuple(sorted(qubits))
+        perm = [kept_sorted.index(q) for q in qubits]
+        return np.transpose(marginal, perm).reshape(-1)
+
+    def sample(
+        self,
+        shots: int,
+        rng: np.random.Generator,
+        qubits: Optional[Iterable[int]] = None,
+    ) -> Dict[str, int]:
+        """Sample measurement outcomes; returns bitstring counts."""
+        qubits = tuple(qubits) if qubits is not None else tuple(range(self.num_qubits))
+        probs = self.probabilities(qubits)
+        probs = np.clip(probs, 0.0, None)
+        probs = probs / probs.sum()
+        outcomes = rng.choice(probs.size, size=shots, p=probs)
+        counts: Dict[str, int] = {}
+        width = len(qubits)
+        for outcome in outcomes:
+            key = format(int(outcome), f"0{width}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+class StatevectorSimulator:
+    """Run circuits on the ideal :class:`StateVector` backend."""
+
+    def run(self, circuit: QuantumCircuit) -> StateVector:
+        """Evolve |0...0> through the unitary part of *circuit*.
+
+        Measurement instructions are ignored here (they select which
+        qubits :func:`ideal_distribution` marginalizes over); use
+        :meth:`sample` for shot-based output.
+        """
+        state = StateVector(circuit.num_qubits)
+        for gate in circuit:
+            if gate.is_unitary:
+                state.apply_gate(gate)
+        return state
+
+    def distribution(self, circuit: QuantumCircuit) -> Dict[str, float]:
+        """Exact output distribution over the circuit's measured qubits.
+
+        If the circuit has no measurements, all qubits are reported.
+        Keys are big-endian bitstrings; values sum to 1.
+        """
+        state = self.run(circuit)
+        measured = circuit.measured_qubits() or tuple(range(circuit.num_qubits))
+        probs = state.probabilities(measured)
+        width = len(measured)
+        return {
+            format(i, f"0{width}b"): float(p)
+            for i, p in enumerate(probs)
+            if p > 1e-14
+        }
+
+    def sample(
+        self, circuit: QuantumCircuit, shots: int, rng: np.random.Generator
+    ) -> Dict[str, int]:
+        """Shot-sampled counts from the ideal output distribution."""
+        state = self.run(circuit)
+        measured = circuit.measured_qubits() or tuple(range(circuit.num_qubits))
+        return state.sample(shots, rng, measured)
+
+
+def ideal_distribution(circuit: QuantumCircuit) -> Dict[str, float]:
+    """Module-level convenience wrapper over ``StatevectorSimulator``."""
+    return StatevectorSimulator().distribution(circuit)

@@ -1,0 +1,142 @@
+"""Integration tests for the ANGEL framework (paper Fig. 11 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import transpile
+from repro.core import Angel, AngelConfig
+from repro.device import CalibrationService, small_test_device
+from repro.exceptions import SearchError
+from repro.metrics import success_rate_from_counts
+from repro.programs import ghz_n4, teleport_n2, vqe_n4
+
+
+@pytest.fixture(scope="module")
+def env():
+    device = small_test_device(5, seed=31)
+    service = CalibrationService(device, seed=2)
+    service.full_calibration()
+    return device, service.data
+
+
+class TestConfig:
+    def test_invalid_shots(self):
+        with pytest.raises(SearchError):
+            AngelConfig(probe_shots=0)
+
+    def test_invalid_reference(self):
+        with pytest.raises(SearchError):
+            AngelConfig(reference="oracle")
+
+    def test_invalid_link_order(self):
+        with pytest.raises(SearchError):
+            AngelConfig(link_order="best-first")
+
+
+class TestSelection:
+    def test_probe_budget_matches_table2(self, env):
+        device, calibration = env
+        angel = Angel(device, calibration, AngelConfig(probe_shots=128, seed=0))
+        compiled = transpile(ghz_n4(), device, calibration)
+        result = angel.select(compiled)
+        # GHZ_n4 on a line: 3 links, all 3 gates available -> 1 + 2*3 = 7.
+        assert result.copycats_executed == 7
+        assert angel.expected_probe_count(compiled) == 7
+        assert result.trace.num_probes == 7
+
+    def test_reference_is_noise_adaptive(self, env):
+        device, calibration = env
+        angel = Angel(device, calibration, AngelConfig(probe_shots=128, seed=0))
+        compiled = transpile(ghz_n4(), device, calibration)
+        result = angel.select(compiled)
+        for link in result.reference_sequence.links_used():
+            expected = calibration.best_native_gate(link)
+            assert result.reference_sequence.gates_on_link(link)[0] == expected
+
+    def test_learned_sequence_link_uniform(self, env):
+        device, calibration = env
+        angel = Angel(device, calibration, AngelConfig(probe_shots=128, seed=0))
+        compiled = transpile(vqe_n4(), device, calibration)
+        result = angel.select(compiled)
+        assert result.sequence.is_link_uniform()
+        assert len(result.sequence) == compiled.num_cnot_sites
+
+    def test_copycat_of_vqe_keeps_initial_layer(self, env):
+        device, calibration = env
+        angel = Angel(device, calibration, AngelConfig(probe_shots=128, seed=0))
+        compiled = transpile(vqe_n4(), device, calibration)
+        result = angel.select(compiled)
+        # The first RY layer is retained; later RYs are Clifford-replaced.
+        assert 0 < len(result.copycat.retained_non_clifford) <= 4
+        assert result.copycat.replaced
+
+    def test_learned_at_least_reference_on_copycat(self, env):
+        device, calibration = env
+        angel = Angel(device, calibration, AngelConfig(probe_shots=512, seed=0))
+        compiled = transpile(ghz_n4(), device, calibration)
+        result = angel.select(compiled)
+        reference_probe = result.trace.probes[0]
+        assert reference_probe.role == "reference"
+        final_sr = max(
+            p.success_rate
+            for p in result.trace.probes
+            if p.sequence.gates == result.sequence.gates
+        )
+        assert final_sr >= reference_probe.success_rate
+
+    def test_program_without_cnots_rejected(self, env):
+        device, calibration = env
+        from repro.circuit import QuantumCircuit
+
+        angel = Angel(device, calibration)
+        compiled = transpile(
+            QuantumCircuit(2).h(0).measure_all(), device, calibration
+        )
+        with pytest.raises(SearchError, match="no CNOT sites"):
+            angel.select(compiled)
+
+    def test_random_reference_mode(self, env):
+        device, calibration = env
+        angel = Angel(
+            device,
+            calibration,
+            AngelConfig(probe_shots=128, reference="random", seed=5),
+        )
+        compiled = transpile(ghz_n4(), device, calibration)
+        result = angel.select(compiled)
+        assert result.copycats_executed == 7
+
+    def test_random_link_order_mode(self, env):
+        device, calibration = env
+        angel = Angel(
+            device,
+            calibration,
+            AngelConfig(probe_shots=128, link_order="random", seed=5),
+        )
+        compiled = transpile(ghz_n4(), device, calibration)
+        result = angel.select(compiled)
+        assert result.copycats_executed == 7
+
+
+class TestEndToEnd:
+    def test_compile_and_select_then_execute(self, env):
+        device, calibration = env
+        angel = Angel(device, calibration, AngelConfig(probe_shots=256, seed=1))
+        compiled, result = angel.compile_and_select(teleport_n2())
+        final = angel.nativize(compiled, result)
+        assert final.name.endswith("_angel")
+        counts = device.run(final, 512, seed=9)
+        sr = success_rate_from_counts(compiled.ideal_distribution(), counts)
+        assert 0.0 < sr <= 1.0
+
+    def test_probing_does_not_execute_the_program(self, env):
+        device, calibration = env
+        angel = Angel(device, calibration, AngelConfig(probe_shots=64, seed=2))
+        compiled = transpile(ghz_n4(), device, calibration)
+        log_before = len(device.execution_log)
+        angel.select(compiled)
+        probe_names = [
+            record.circuit_name
+            for record in device.execution_log[log_before:]
+        ]
+        assert all("copycat" in name for name in probe_names)

@@ -1,0 +1,120 @@
+"""Tests for Clifford Data Regression."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import transpile
+from repro.core import NativeGateSequence
+from repro.core.cdr import (
+    CdrFit,
+    CliffordDataRegression,
+    _least_squares,
+    parity_expectation,
+)
+from repro.device import CalibrationService, small_test_device
+from repro.exceptions import SearchError
+from repro.programs import vqe_n4
+
+
+@pytest.fixture(scope="module")
+def env():
+    device = small_test_device(5, seed=51)
+    service = CalibrationService(device, seed=1)
+    service.full_calibration()
+    return device, service.data
+
+
+class TestParityExpectation:
+    def test_all_zero(self):
+        assert parity_expectation({"000": 1.0}) == 1.0
+
+    def test_odd_weight(self):
+        assert parity_expectation({"100": 1.0}) == -1.0
+
+    def test_mixed(self):
+        assert parity_expectation({"00": 0.5, "11": 0.5}) == pytest.approx(1.0)
+        assert parity_expectation({"00": 0.5, "01": 0.5}) == pytest.approx(0.0)
+
+
+class TestLeastSquares:
+    def test_exact_line(self):
+        slope, intercept = _least_squares([0.0, 1.0, 2.0], [1.0, 3.0, 5.0])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_degenerate_x(self):
+        slope, intercept = _least_squares([0.5, 0.5], [0.7, 0.9])
+        assert slope == 1.0
+        assert intercept == pytest.approx(0.3)
+
+
+class TestCdrFit:
+    def test_mitigate_clips(self):
+        fit = CdrFit(3.0, 0.0, (), ())
+        assert fit.mitigate(0.9) == 1.0
+        assert fit.mitigate(-0.9) == -1.0
+
+    def test_mitigate_linear(self):
+        fit = CdrFit(2.0, -0.1, (), ())
+        assert fit.mitigate(0.3) == pytest.approx(0.5)
+
+
+class TestCliffordDataRegression:
+    def test_requires_training_circuits(self, env):
+        device, _ = env
+        with pytest.raises(SearchError):
+            CliffordDataRegression(device, num_training=1)
+
+    def test_training_circuits_are_clifford(self, env):
+        device, calibration = env
+        compiled = transpile(vqe_n4(), device, calibration)
+        cdr = CliffordDataRegression(device, num_training=4, seed=0)
+        for index in range(4):
+            training = cdr._training_circuit(compiled.scheduled, index)
+            assert training.is_clifford()
+            # CNOT skeleton preserved.
+            assert (
+                training.count_ops().get("cnot", 0)
+                + 3 * training.count_ops().get("swap", 0)
+                == compiled.num_cnot_sites
+            )
+
+    def test_training_variants_differ(self, env):
+        device, calibration = env
+        compiled = transpile(vqe_n4(), device, calibration)
+        cdr = CliffordDataRegression(device, num_training=8, seed=2)
+        variants = {
+            tuple(g.name for g in cdr._training_circuit(compiled.scheduled, i))
+            for i in range(8)
+        }
+        assert len(variants) > 1
+
+    def test_mitigation_reduces_error(self, env):
+        device, calibration = env
+        compiled = transpile(vqe_n4(), device, calibration)
+        sequence = NativeGateSequence.uniform(compiled.sites, "cz")
+        ideal = parity_expectation(compiled.ideal_distribution())
+        cdr = CliffordDataRegression(
+            device, num_training=12, shots=1024, seed=3
+        )
+        raw, mitigated, fit = cdr.mitigated_expectation(
+            compiled, sequence, target_shots=4096
+        )
+        assert abs(mitigated - ideal) <= abs(raw - ideal) + 0.05
+        assert fit.slope > 0  # noisy and ideal parities co-vary
+
+    def test_fit_is_seed_deterministic(self, env):
+        device, calibration = env
+        compiled = transpile(vqe_n4(), device, calibration)
+        sequence = NativeGateSequence.uniform(compiled.sites, "cz")
+        fits = []
+        for _ in range(2):
+            dev = small_test_device(5, seed=51)
+            service = CalibrationService(dev, seed=1)
+            service.full_calibration()
+            comp = transpile(vqe_n4(), dev, service.data)
+            seq = NativeGateSequence.uniform(comp.sites, "cz")
+            cdr = CliffordDataRegression(dev, num_training=6, shots=256, seed=9)
+            fits.append(cdr.fit(comp, seq))
+        assert fits[0].slope == pytest.approx(fits[1].slope)
+        assert fits[0].training_noisy == fits[1].training_noisy

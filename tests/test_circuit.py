@@ -1,0 +1,175 @@
+"""Tests for the QuantumCircuit IR."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.circuit.gates import Gate, gate_matrix
+from repro.exceptions import CircuitError
+from repro.linalg import is_unitary, kron_n, unitaries_equal_up_to_phase
+
+
+class TestConstruction:
+    def test_requires_positive_width(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_fluent_builder(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1).measure_all()
+        assert len(qc) == 4
+        assert qc.has_measurements
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(CircuitError, match="outside register"):
+            QuantumCircuit(2).x(2)
+
+    def test_initial_instructions_copied(self):
+        gates = [Gate("h", (0,))]
+        qc = QuantumCircuit(1, gates)
+        gates.append(Gate("x", (0,)))
+        assert len(qc) == 1
+
+    def test_cx_alias(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        assert qc[0].name == "cnot"
+
+    def test_equality(self):
+        a = QuantumCircuit(2).h(0).cnot(0, 1)
+        b = QuantumCircuit(2).h(0).cnot(0, 1)
+        assert a == b
+        assert a != b.copy().x(1)
+
+
+class TestQueries:
+    def test_count_ops(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).cnot(1, 2).measure_all()
+        ops = qc.count_ops()
+        assert ops == {"h": 1, "cnot": 2, "measure": 3}
+
+    def test_cnot_count(self):
+        qc = QuantumCircuit(2).cnot(0, 1).cnot(1, 0).swap(0, 1)
+        assert qc.cnot_count() == 2
+        assert qc.num_two_qubit_gates() == 3
+
+    def test_two_qubit_pairs_sorted(self):
+        qc = QuantumCircuit(3).cnot(2, 0).cz(1, 2)
+        assert qc.two_qubit_pairs() == [(0, 2), (1, 2)]
+
+    def test_measured_qubits_order(self):
+        qc = QuantumCircuit(3).measure(2).measure(0)
+        assert qc.measured_qubits() == (2, 0)
+
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        assert qc.depth() == 1
+
+    def test_depth_serial_dependency(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1).x(1)
+        assert qc.depth() == 3
+
+    def test_depth_with_barrier(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.barrier()
+        qc.h(1)
+        assert qc.depth() == 2
+
+    def test_is_clifford(self):
+        assert QuantumCircuit(2).h(0).cnot(0, 1).is_clifford()
+        assert not QuantumCircuit(1).t(0).is_clifford()
+
+    def test_non_clifford_gates_listed(self):
+        qc = QuantumCircuit(1).h(0).t(0).rz(0.1, 0)
+        indices = [i for i, _ in qc.non_clifford_gates()]
+        assert indices == [1, 2]
+
+
+class TestTransformations:
+    def test_inverse_reverses_unitary(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1).rz(0.4, 1)
+        product = qc.unitary() @ qc.inverse().unitary()
+        assert unitaries_equal_up_to_phase(product, np.eye(4))
+
+    def test_inverse_rejects_measurements(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1).measure(0).inverse()
+
+    def test_compose(self):
+        qc = QuantumCircuit(2).h(0)
+        other = QuantumCircuit(2).cnot(0, 1)
+        combined = qc.compose(other)
+        assert [g.name for g in combined] == ["h", "cnot"]
+        assert len(qc) == 1  # original untouched
+
+    def test_compose_width_check(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1).compose(QuantumCircuit(2))
+
+    def test_remap_qubits(self):
+        qc = QuantumCircuit(2).cnot(0, 1).remap_qubits([4, 2])
+        assert qc[0].qubits == (4, 2)
+        assert qc.num_qubits == 5
+
+    def test_remap_requires_full_mapping(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(3).remap_qubits([0, 1])
+
+    def test_without_measurements(self):
+        qc = QuantumCircuit(1).h(0).measure(0)
+        assert not qc.without_measurements().has_measurements
+
+    def test_toffoli_unitary(self):
+        qc = QuantumCircuit(3).toffoli(0, 1, 2)
+        expected = np.eye(8, dtype=complex)
+        # |110> <-> |111> in big-endian indexing
+        expected[[6, 7]] = expected[[7, 6]]
+        assert unitaries_equal_up_to_phase(qc.unitary(), expected)
+
+
+class TestUnitary:
+    def test_bell_state_unitary(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        state = qc.unitary() @ np.eye(4)[:, 0]
+        expected = np.zeros(4, dtype=complex)
+        expected[0b00] = expected[0b11] = 1 / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_distant_qubit_two_qubit_gate(self):
+        # CNOT 0 -> 2 in a 3-qubit register.
+        qc = QuantumCircuit(3).x(0).cnot(0, 2)
+        state = qc.unitary() @ np.eye(8)[:, 0]
+        assert abs(state[0b101]) == pytest.approx(1.0)
+
+    def test_reversed_qubit_order_gate(self):
+        # CNOT with control on the less significant qubit.
+        qc = QuantumCircuit(2).x(1).cnot(1, 0)
+        state = qc.unitary() @ np.eye(4)[:, 0]
+        assert abs(state[0b11]) == pytest.approx(1.0)
+
+    def test_single_qubit_expansion_matches_kron(self):
+        qc = QuantumCircuit(2).h(1)
+        assert np.allclose(qc.unitary(), kron_n(np.eye(2), gate_matrix("h")))
+
+    def test_unitary_rejects_measurement(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1).measure(0).unitary()
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_circuit_unitary_is_unitary(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(3, 10, rng)
+        assert is_unitary(qc.unitary())
+
+
+class TestRendering:
+    def test_to_text_round_readable(self):
+        text = QuantumCircuit(2, name="bell").h(0).cnot(0, 1).to_text()
+        assert "bell" in text
+        assert "cnot [0, 1]" in text
+
+    def test_repr(self):
+        assert "num_qubits=2" in repr(QuantumCircuit(2))

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "GHZ_n4"])
+        assert args.policy == "angel"
+        assert args.device == "aspen-11"
+
+    def test_fixed_gate_policy_accepted(self):
+        args = build_parser().parse_args(
+            ["compile", "GHZ_n4", "--policy", "cz"]
+        )
+        assert args.policy == "cz"
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "x", "--policy", "magic"])
+
+
+class TestCommands:
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "GHZ_n4" in out
+        assert "QAOA_n5" in out
+
+    def test_draw_benchmark(self, capsys):
+        assert main(["draw", "GHZ_n4"]) == 0
+        out = capsys.readouterr().out
+        assert "q0:" in out and "*" in out
+
+    def test_draw_qasm_file(self, tmp_path, capsys):
+        qasm = tmp_path / "bell.qasm"
+        qasm.write_text(
+            'OPENQASM 2.0; include "qelib1.inc"; qreg q[2]; '
+            "h q[0]; cx q[0],q[1];"
+        )
+        assert main(["draw", str(qasm)]) == 0
+        out = capsys.readouterr().out
+        assert "H" in out and "X" in out
+
+    def test_unknown_benchmark_is_error(self, capsys):
+        assert main(["draw", "definitely_not_a_benchmark"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compile_fixed_gate(self, capsys):
+        code = main(
+            [
+                "compile",
+                "tele_n2",
+                "--policy",
+                "cz",
+                "--shots",
+                "256",
+                "--seed",
+                "5",
+                "--drift-hours",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success rate" in out
+
+    def test_compile_baseline_emits_qasm(self, capsys):
+        code = main(
+            [
+                "compile",
+                "tele_n2",
+                "--policy",
+                "baseline",
+                "--shots",
+                "128",
+                "--drift-hours",
+                "1",
+                "--emit-qasm",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OPENQASM 2.0" in out
+
+    def test_compile_angel(self, capsys):
+        code = main(
+            [
+                "compile",
+                "tele_n2",
+                "--policy",
+                "angel",
+                "--shots",
+                "128",
+                "--probe-shots",
+                "128",
+                "--drift-hours",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CopyCat probes" in out
+
+    def test_experiments_command(self, capsys):
+        assert main(["experiments", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "19.7K" in out
+
+    def test_device_command(self, capsys):
+        assert main(["device", "--max-links", "4", "--drift-hours", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig17" in out

@@ -1,0 +1,139 @@
+"""Tests for the single-qubit Clifford group and nearest-Clifford lookup."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.clifford import (
+    clifford_replacement_gates,
+    is_clifford_matrix,
+    nearest_clifford,
+    single_qubit_clifford_group,
+)
+from repro.circuit.gates import Gate, gate_matrix, rz_matrix, u3_matrix
+from repro.exceptions import CircuitError
+from repro.linalg import unitaries_equal_up_to_phase
+
+
+class TestGroupStructure:
+    def test_group_has_24_elements(self):
+        assert len(single_qubit_clifford_group()) == 24
+
+    def test_elements_pairwise_distinct(self):
+        group = single_qubit_clifford_group()
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                assert not unitaries_equal_up_to_phase(a.matrix, b.matrix)
+
+    def test_words_reproduce_matrices(self):
+        for element in single_qubit_clifford_group():
+            matrix = np.eye(2, dtype=complex)
+            for name in element.word:
+                matrix = gate_matrix(name) @ matrix
+            assert unitaries_equal_up_to_phase(matrix, element.matrix)
+
+    def test_group_closed_under_multiplication(self):
+        group = single_qubit_clifford_group()
+        h = gate_matrix("h")
+        for element in group:
+            assert is_clifford_matrix(h @ element.matrix)
+
+    def test_hadamard_flagged_as_hadamard_like(self):
+        group = single_qubit_clifford_group()
+        h_like = [e for e in group if e.hadamard_like]
+        # H itself must be flagged.
+        assert any(
+            unitaries_equal_up_to_phase(e.matrix, gate_matrix("h")) for e in h_like
+        )
+        # Paulis must not be flagged.
+        for name in ("x", "y", "z"):
+            for e in group:
+                if unitaries_equal_up_to_phase(e.matrix, gate_matrix(name)):
+                    assert not e.hadamard_like
+
+    def test_identity_not_hadamard_like(self):
+        for e in single_qubit_clifford_group():
+            if unitaries_equal_up_to_phase(e.matrix, np.eye(2)):
+                assert not e.hadamard_like
+
+    def test_gates_method_targets_qubit(self):
+        element = single_qubit_clifford_group()[3]
+        for gate in element.gates(qubit=5):
+            assert gate.qubits == (5,)
+
+
+class TestIsCliffordMatrix:
+    def test_t_gate_not_clifford(self):
+        assert not is_clifford_matrix(gate_matrix("t"))
+
+    def test_s_gate_clifford(self):
+        assert is_clifford_matrix(gate_matrix("s"))
+
+    def test_phased_clifford_still_clifford(self):
+        assert is_clifford_matrix(np.exp(1j * 0.3) * gate_matrix("h"))
+
+
+class TestNearestClifford:
+    def test_clifford_input_maps_to_itself(self):
+        element, distance = nearest_clifford(gate_matrix("s"))
+        assert distance == pytest.approx(0.0, abs=1e-9)
+        assert unitaries_equal_up_to_phase(element.matrix, gate_matrix("s"))
+
+    def test_rz_slightly_past_s_still_s(self):
+        # RZ(pi/2 + 0.1) is closest to S among Cliffords.
+        element, distance = nearest_clifford(rz_matrix(math.pi / 2 + 0.1))
+        assert unitaries_equal_up_to_phase(element.matrix, gate_matrix("s"))
+        assert 0 < distance < 0.2
+
+    def test_rz_quarter_is_not_replaced_by_hadamard_like(self):
+        element, _ = nearest_clifford(rz_matrix(math.pi / 4))
+        assert not element.hadamard_like
+
+    def test_excluding_hadamard_changes_candidates(self):
+        # A gate extremely close to H: with exclusion the winner is not H.
+        h = gate_matrix("h")
+        with_h, _ = nearest_clifford(h, exclude_hadamard_like=False)
+        without_h, dist = nearest_clifford(h, exclude_hadamard_like=True)
+        assert unitaries_equal_up_to_phase(with_h.matrix, h)
+        assert not unitaries_equal_up_to_phase(without_h.matrix, h)
+        assert dist > 0.1
+
+    def test_deterministic_tie_break(self):
+        a = nearest_clifford(rz_matrix(math.pi / 4))[0]
+        b = nearest_clifford(rz_matrix(math.pi / 4))[0]
+        assert a.label == b.label
+
+    @given(
+        theta=st.floats(0, math.pi),
+        phi=st.floats(0, 2 * math.pi),
+        lam=st.floats(0, 2 * math.pi),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_distance_bounded_for_any_unitary(self, theta, phi, lam):
+        # Every single-qubit unitary is within operator-norm distance 2 of
+        # some Clifford; in practice the 24-element net is far tighter.
+        _, distance = nearest_clifford(u3_matrix(theta, phi, lam))
+        assert 0.0 <= distance <= 1.6
+
+
+class TestReplacementGates:
+    def test_replacement_for_t_gate(self):
+        gates, distance = clifford_replacement_gates(Gate("t", (3,)))
+        assert all(g.qubits == (3,) for g in gates)
+        assert distance < 0.5
+        # T is closest to either I or S.
+        matrix = np.eye(2, dtype=complex)
+        for gate in gates:
+            matrix = gate.matrix() @ matrix
+        assert is_clifford_matrix(matrix)
+
+    def test_rejects_two_qubit_gate(self):
+        with pytest.raises(CircuitError):
+            clifford_replacement_gates(Gate("cnot", (0, 1)))
+
+    def test_rejects_measurement(self):
+        with pytest.raises(CircuitError):
+            clifford_replacement_gates(Gate("measure", (0,)))

@@ -1,0 +1,125 @@
+"""Tests for the enumerated 1- and 2-qubit Clifford groups."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.linalg import unitaries_equal_up_to_phase
+from repro.sim.clifford_group import (
+    CliffordGroup,
+    clifford_group,
+    inverse_word,
+    tableau_key,
+    word_tableau,
+)
+from repro.sim.stabilizer import StabilizerTableau
+
+
+@pytest.fixture(scope="module")
+def group1():
+    return clifford_group(1)
+
+
+@pytest.fixture(scope="module")
+def group2():
+    return clifford_group(2)
+
+
+class TestEnumeration:
+    def test_group_orders(self, group1, group2):
+        assert len(group1) == 24
+        assert len(group2) == 11_520
+
+    def test_cached_accessor(self, group2):
+        assert clifford_group(2) is group2
+
+    def test_unsupported_width(self):
+        with pytest.raises(SimulationError):
+            CliffordGroup(3)
+
+    def test_identity_has_empty_word(self, group2):
+        identity_key = tableau_key(StabilizerTableau(2))
+        assert group2.element(identity_key).word == ()
+
+    def test_unknown_key(self, group2):
+        with pytest.raises(SimulationError):
+            group2.element(b"nonsense")
+
+    def test_words_are_short(self, group2):
+        longest = max(
+            len(group2.element(k).word) for k in group2._elements
+        )
+        assert longest <= 12  # BFS diameter over the generator set
+
+    def test_one_qubit_group_matches_matrix_enumeration(self, group1):
+        # Cross-check against the matrix-level 24-element group.
+        from repro.circuit.clifford import single_qubit_clifford_group
+
+        matrix_group = single_qubit_clifford_group()
+        for key in group1._elements:
+            circuit = group1.element(key).circuit()
+            if len(circuit) == 0:
+                continue
+            unitary = circuit.unitary()
+            assert any(
+                unitaries_equal_up_to_phase(unitary, m.matrix)
+                for m in matrix_group
+            )
+
+
+class TestInverses:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_inverse_composes_to_identity(self, seed):
+        group = clifford_group(2)
+        rng = np.random.default_rng(seed)
+        element = group.sample(rng)
+        inverse = group.inverse(element.key)
+        identity_key = tableau_key(StabilizerTableau(2))
+        assert group.key_of_word(element.word + inverse.word) == identity_key
+
+    def test_inverse_word_reverses(self):
+        word = (("s", (0,)), ("h", (0,)), ("cnot", (0, 1)))
+        inv = inverse_word(word)
+        assert inv == (("cnot", (0, 1)), ("h", (0,)), ("sdg", (0,)))
+
+    def test_compose_keys(self):
+        group = clifford_group(2)
+        h_key = group.key_of_word((("h", (0,)),))
+        composed = group.compose_keys(h_key, h_key)
+        assert composed == tableau_key(StabilizerTableau(2))
+
+
+class TestSampling:
+    def test_uniformish_sampling(self, group1):
+        rng = np.random.default_rng(3)
+        seen = {group1.sample(rng).key for _ in range(2000)}
+        assert len(seen) == 24
+
+    def test_sampling_deterministic_with_seed(self, group2):
+        a = group2.sample(np.random.default_rng(9)).key
+        b = group2.sample(np.random.default_rng(9)).key
+        assert a == b
+
+
+class TestCircuits:
+    def test_circuit_on_custom_qubits(self, group2):
+        rng = np.random.default_rng(1)
+        element = group2.sample(rng)
+        circuit = element.circuit(qubits=(4, 6))
+        for gate in circuit:
+            assert set(gate.qubits) <= {4, 6}
+
+    def test_circuit_matches_tableau(self, group2):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            element = group2.sample(rng)
+            rebuilt = word_tableau(2, element.word)
+            assert tableau_key(rebuilt) == element.key
+
+    def test_wrong_qubit_count_rejected(self, group2):
+        element = group2.sample(np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            element.circuit(qubits=(0,))

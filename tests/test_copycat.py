@@ -1,0 +1,147 @@
+"""Tests for CopyCat construction (paper Section IV-E1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compiler.nativization import extract_cnot_sites
+from repro.core.copycat import build_copycat
+from repro.exceptions import CircuitError
+from repro.programs import ghz_n4, vqe_n4
+
+
+class TestStructurePreservation:
+    def test_cnot_skeleton_identical(self):
+        source = vqe_n4()
+        copycat = build_copycat(source)
+        src_sites = extract_cnot_sites(source)
+        cc_sites = extract_cnot_sites(copycat.circuit)
+        assert [(s.control, s.target) for s in src_sites] == [
+            (s.control, s.target) for s in cc_sites
+        ]
+
+    def test_measurements_preserved(self):
+        source = ghz_n4()
+        copycat = build_copycat(source)
+        assert copycat.circuit.measured_qubits() == source.measured_qubits()
+
+    def test_clifford_program_unchanged(self):
+        source = ghz_n4()
+        copycat = build_copycat(source)
+        assert copycat.replaced == ()
+        assert copycat.total_replacement_distance == 0.0
+        assert copycat.is_pure_clifford
+
+    def test_name_tagged(self):
+        assert build_copycat(ghz_n4()).circuit.name == "GHZ_n4_copycat"
+
+
+class TestReplacement:
+    def test_non_clifford_gates_replaced(self):
+        source = QuantumCircuit(2).cnot(0, 1).t(1).rz(0.3, 0).measure_all()
+        copycat = build_copycat(source, max_non_clifford=0)
+        assert copycat.circuit.is_clifford()
+        assert len(copycat.replaced) == 2
+        assert copycat.total_replacement_distance > 0
+
+    def test_initial_layer_retention(self):
+        # First-moment rotations are kept (up to budget); later ones not.
+        source = (
+            QuantumCircuit(2)
+            .ry(0.7, 0)
+            .ry(0.7, 1)
+            .cnot(0, 1)
+            .ry(0.7, 1)
+            .measure_all()
+        )
+        copycat = build_copycat(source, max_non_clifford=20)
+        assert len(copycat.retained_non_clifford) == 2
+        assert not copycat.is_pure_clifford
+        # Only the trailing rotation was replaced.
+        assert len(copycat.replaced) == 1
+
+    def test_budget_limits_retention(self):
+        source = QuantumCircuit(3)
+        for qubit in range(3):
+            source.ry(0.5, qubit)
+        source.cnot(0, 1).measure_all()
+        copycat = build_copycat(source, max_non_clifford=1)
+        assert len(copycat.retained_non_clifford) == 1
+        assert len(copycat.replaced) == 2
+
+    def test_clifford_only_mode(self):
+        source = vqe_n4()
+        copycat = build_copycat(source, max_non_clifford=0)
+        assert copycat.circuit.is_clifford()
+        assert copycat.retained_non_clifford == ()
+
+    def test_fixed_replacement(self):
+        source = QuantumCircuit(2).ry(0.7, 0).cnot(0, 1).measure_all()
+        for name in ("x", "z", "s"):
+            copycat = build_copycat(source, fixed_replacement=name)
+            replaced_names = {
+                g.name for _, _, repl in copycat.replaced for g in repl
+            }
+            assert replaced_names == {name}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(CircuitError):
+            build_copycat(ghz_n4(), max_non_clifford=-1)
+
+    def test_two_qubit_snap(self):
+        source = QuantumCircuit(2).cphase(2.8, 0, 1).xy(0.2, 0, 1).measure_all()
+        copycat = build_copycat(source)
+        gates = [g for g in copycat.circuit.gates()]
+        # cphase(2.8) is near pi -> CZ-equivalent; xy(0.2) near 0.
+        assert gates[0].name == "cphase"
+        assert abs(abs(gates[0].params[0]) - math.pi) < 1e-9
+        assert gates[1].params[0] == 0.0
+        assert copycat.circuit.is_clifford()
+
+
+class TestIdealDistribution:
+    def test_pure_clifford_uses_stabilizer_keys(self):
+        copycat = build_copycat(ghz_n4())
+        dist = copycat.ideal_distribution()
+        assert dist["0000"] == pytest.approx(0.5)
+        assert dist["1111"] == pytest.approx(0.5)
+
+    def test_retained_non_clifford_distribution(self):
+        source = QuantumCircuit(2).ry(math.pi / 3, 0).cnot(0, 1).measure_all()
+        copycat = build_copycat(source)
+        dist = copycat.ideal_distribution()
+        # RY(pi/3): P(0) = cos^2(pi/6) = 3/4, correlated across the CNOT.
+        assert dist["00"] == pytest.approx(0.75, abs=1e-9)
+        assert dist["11"] == pytest.approx(0.25, abs=1e-9)
+
+    def test_wide_clifford_copycat_simulable(self):
+        # 30-qubit GHZ: stabilizer path must handle it.
+        wide = QuantumCircuit(30).h(0)
+        for i in range(29):
+            wide.cnot(i, i + 1)
+        wide.measure_all()
+        dist = build_copycat(wide).ideal_distribution()
+        assert dist["0" * 30] == pytest.approx(0.5)
+
+    def test_hadamard_exclusion_affects_replacements(self):
+        # A rotation close to H: with exclusion the CopyCat avoids an
+        # H-like replacement, keeping the output distribution structured.
+        source = (
+            QuantumCircuit(2)
+            .cnot(0, 1)
+            .u3(math.pi / 2 + 0.05, 0.0, math.pi, 0)
+            .measure_all()
+        )
+        with_h = build_copycat(
+            source, max_non_clifford=0, exclude_hadamard_like=False
+        )
+        without_h = build_copycat(
+            source, max_non_clifford=0, exclude_hadamard_like=True
+        )
+        dist_with = with_h.ideal_distribution()
+        dist_without = without_h.ideal_distribution()
+        # Including H: near-uniform on the first bit; excluding: peaked.
+        assert max(dist_with.values()) == pytest.approx(0.5, abs=1e-9)
+        assert max(dist_without.values()) == pytest.approx(1.0, abs=1e-9)

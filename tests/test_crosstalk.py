@@ -1,0 +1,97 @@
+"""Tests for the spectator ZZ-crosstalk extension."""
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.device import NOISELESS_PROFILE, build_device
+from repro.device.native_gates import hadamard_native
+from repro.device.topology import linear_topology
+
+
+def _ramsey_spectator_circuit():
+    """Spectator qubit 2 in superposition while link (0,1) is pulsed.
+
+    A ZZ kick from the neighbouring pulse rotates the spectator's phase;
+    the closing Hadamard converts that phase into a population change.
+    """
+    qc = QuantumCircuit(3, name="ramsey_spectator")
+    for gate in hadamard_native(2):
+        qc.append(gate)
+    qc.rx(math.pi, 1)  # prepare the spectator's pulsed neighbour in |1>
+    # Four entangling pulses on link (0, 1); qubit 2 is a spectator
+    # neighbouring qubit 1.
+    for _ in range(4):
+        qc.cz(0, 1)
+    for gate in hadamard_native(2):
+        qc.append(gate)
+    qc.measure_all()
+    return qc
+
+
+class TestCrosstalk:
+    def test_disabled_by_default(self):
+        device = build_device(
+            linear_topology(3), seed=0, profile=NOISELESS_PROFILE
+        )
+        assert device.crosstalk_zz == 0.0
+
+    def test_spectator_unaffected_without_crosstalk(self):
+        device = build_device(
+            linear_topology(3), seed=0, profile=NOISELESS_PROFILE
+        )
+        dist = device.noisy_distribution(_ramsey_spectator_circuit())
+        # Spectator (bit 2) returns to |0> deterministically.
+        for key, prob in dist.items():
+            if prob > 1e-5:
+                assert key[2] == "0"
+
+    def test_spectator_phase_kick_with_crosstalk(self):
+        device = build_device(
+            linear_topology(3),
+            seed=0,
+            profile=NOISELESS_PROFILE,
+            crosstalk_zz=0.2,
+        )
+        dist = device.noisy_distribution(_ramsey_spectator_circuit())
+        leaked = sum(p for k, p in dist.items() if k[2] == "1")
+        # Four pulses x 0.2 rad ZZ -> sin^2(0.4) leakage on the spectator.
+        assert leaked == pytest.approx(math.sin(0.4) ** 2, abs=0.01)
+
+    def test_out_of_register_neighbours_ignored(self):
+        # Spectator not simulated (not in the circuit): no crash, no
+        # effect on the pulsed pair.
+        device = build_device(
+            linear_topology(3),
+            seed=0,
+            profile=NOISELESS_PROFILE,
+            crosstalk_zz=0.3,
+        )
+        qc = QuantumCircuit(2, name="pair_only")
+        qc.rx(math.pi, 0)
+        qc.cz(0, 1)
+        qc.measure_all()
+        dist = device.noisy_distribution(qc)
+        assert dist["10"] == pytest.approx(1.0, abs=1e-5)
+
+    def test_crosstalk_scales_with_pulse_count(self):
+        def leakage(num_pulses):
+            device = build_device(
+                linear_topology(3),
+                seed=0,
+                profile=NOISELESS_PROFILE,
+                crosstalk_zz=0.1,
+            )
+            qc = QuantumCircuit(3, name="scaling")
+            for gate in hadamard_native(2):
+                qc.append(gate)
+            for _ in range(num_pulses):
+                qc.cz(0, 1)
+            for gate in hadamard_native(2):
+                qc.append(gate)
+            qc.measure_all()
+            dist = device.noisy_distribution(qc)
+            return sum(p for k, p in dist.items() if k[2] == "1")
+
+        assert leakage(6) > leakage(2)

@@ -1,0 +1,92 @@
+"""Tests for moment and DAG views of circuits."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.dag import CircuitDag, circuit_moments, first_layer_indices
+
+
+class TestMoments:
+    def test_parallel_gates_share_moment(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        moments = circuit_moments(qc)
+        assert len(moments) == 1
+        assert len(moments[0].items) == 2
+
+    def test_dependencies_serialize(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1).x(1)
+        moments = circuit_moments(qc)
+        assert [len(m.items) for m in moments] == [1, 1, 1]
+
+    def test_moment_qubits(self):
+        qc = QuantumCircuit(3).h(0).cnot(1, 2)
+        assert circuit_moments(qc)[0].qubits() == (0, 1, 2)
+
+    def test_barrier_aligns(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.barrier()
+        qc.x(1)
+        moments = circuit_moments(qc)
+        assert len(moments) == 2
+        assert moments[1].gates[0].name == "x"
+
+    def test_measure_participates(self):
+        qc = QuantumCircuit(1).h(0).measure(0)
+        assert len(circuit_moments(qc)) == 2
+
+    def test_empty_circuit(self):
+        assert circuit_moments(QuantumCircuit(2)) == []
+
+
+class TestFirstLayer:
+    def test_initial_layer_indices(self):
+        qc = QuantumCircuit(3).ry(0.3, 0).ry(0.3, 1).cnot(0, 1).ry(0.3, 2)
+        # Indices 0, 1 (the two first-moment rotations) and 3 (ry on an
+        # untouched qubit also lands in moment 0).
+        assert first_layer_indices(qc) == [0, 1, 3]
+
+    def test_empty(self):
+        assert first_layer_indices(QuantumCircuit(1)) == []
+
+
+class TestDag:
+    def test_linear_chain(self):
+        qc = QuantumCircuit(1).h(0).x(0).z(0)
+        dag = CircuitDag.from_circuit(qc)
+        assert dag.successors[0] == [1]
+        assert dag.predecessors[2] == [1]
+        assert dag.topological_order() == [0, 1, 2]
+
+    def test_two_qubit_join(self):
+        qc = QuantumCircuit(2).h(0).h(1).cnot(0, 1)
+        dag = CircuitDag.from_circuit(qc)
+        assert sorted(dag.predecessors[2]) == [0, 1]
+
+    def test_independent_wires(self):
+        qc = QuantumCircuit(2).h(0).x(1)
+        dag = CircuitDag.from_circuit(qc)
+        assert dag.successors[0] == []
+        assert dag.successors[1] == []
+
+    def test_barrier_joins_everything(self):
+        qc = QuantumCircuit(2).h(0)
+        qc.barrier()
+        qc.x(1)
+        dag = CircuitDag.from_circuit(qc)
+        # x(1) depends on the barrier which depends on h(0).
+        assert dag.predecessors[2] == [1]
+        assert dag.predecessors[1] == [0]
+
+    def test_longest_path(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1).x(1).z(0)
+        dag = CircuitDag.from_circuit(qc)
+        assert dag.longest_path_length() == 3
+
+    def test_topological_order_valid(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).cnot(1, 2).x(0).cnot(0, 1)
+        dag = CircuitDag.from_circuit(qc)
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node, preds in dag.predecessors.items():
+            for pred in preds:
+                assert position[pred] < position[node]

@@ -1,0 +1,94 @@
+"""Tests for device execution accounting: logs, durations, clocks."""
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.device import small_test_device
+from repro.device.native_gates import (
+    DEFAULT_PULSE_DURATIONS_NS,
+    cnot_decomposition,
+    hadamard_native,
+)
+
+
+def _native_bell(a, b):
+    qc = QuantumCircuit(max(a, b) + 1, name="bell_acct")
+    for g in hadamard_native(a):
+        qc.append(g)
+    for g in cnot_decomposition("cz", a, b):
+        qc.append(g)
+    qc.measure(a)
+    qc.measure(b)
+    return qc
+
+
+class TestExecutionLog:
+    def test_log_records_job_metadata(self):
+        device = small_test_device(3, seed=71)
+        device.run(_native_bell(0, 1), 123, seed=0)
+        record = device.execution_log[-1]
+        assert record.circuit_name == "bell_acct"
+        assert record.shots == 123
+        assert record.qubits == (0, 1)
+        assert record.duration_us > 0
+
+    def test_log_accumulates(self):
+        device = small_test_device(3, seed=71)
+        for _ in range(3):
+            device.run(_native_bell(0, 1), 10, seed=0)
+        assert len(device.execution_log) == 3
+        starts = [r.started_at_us for r in device.execution_log]
+        assert starts == sorted(starts)
+        assert starts[1] == pytest.approx(
+            starts[0] + device.execution_log[0].duration_us
+        )
+
+    def test_oracle_views_not_logged(self):
+        device = small_test_device(3, seed=71)
+        before = len(device.execution_log)
+        clock_before = device.clock_us
+        device.noisy_distribution(_native_bell(0, 1))
+        device.true_pulse_fidelity((0, 1), "cz")
+        assert len(device.execution_log) == before
+        assert device.clock_us == clock_before
+
+
+class TestDurations:
+    def test_rz_is_free(self):
+        device = small_test_device(2, seed=72)
+        qc = QuantumCircuit(1).rz(0.3, 0).rz(0.5, 0).measure(0)
+        duration = device.circuit_duration_us(qc)
+        # Only the measurement contributes.
+        assert duration == pytest.approx(
+            DEFAULT_PULSE_DURATIONS_NS["measure"] / 1000.0
+        )
+
+    def test_parallel_gates_share_time(self):
+        device = small_test_device(3, seed=72)
+        serial = QuantumCircuit(1)
+        serial.rx(math.pi / 2, 0)
+        serial.rx(math.pi / 2, 0)
+        parallel = QuantumCircuit(2)
+        parallel.rx(math.pi / 2, 0)
+        parallel.rx(math.pi / 2, 1)
+        assert device.circuit_duration_us(parallel) < device.circuit_duration_us(
+            serial
+        )
+
+    def test_two_qubit_duration_from_gate_params(self):
+        device = small_test_device(2, seed=72)
+        qc = QuantumCircuit(2).cz(0, 1)
+        expected = device.gate_params[((0, 1), "cz")].duration_ns / 1000.0
+        assert device.circuit_duration_us(qc) == pytest.approx(expected)
+
+    def test_job_time_scales_with_shots(self):
+        device_a = small_test_device(2, seed=73)
+        device_b = small_test_device(2, seed=73)
+        device_a.run(_native_bell(0, 1), 100, seed=0)
+        device_b.run(_native_bell(0, 1), 10_000, seed=0)
+        assert (
+            device_b.execution_log[-1].duration_us
+            > device_a.execution_log[-1].duration_us
+        )

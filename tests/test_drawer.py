@@ -1,0 +1,72 @@
+"""Tests for the ASCII circuit drawer."""
+
+import math
+
+from repro.circuit import QuantumCircuit, draw_circuit
+from repro.programs import ghz_n4
+
+
+class TestDrawCircuit:
+    def test_wire_labels(self):
+        text = draw_circuit(QuantumCircuit(3).h(0))
+        lines = text.splitlines()
+        assert lines[0].startswith("q0:")
+        assert any(l.startswith("q2:") for l in lines)
+
+    def test_single_qubit_labels(self):
+        text = draw_circuit(QuantumCircuit(1).h(0).t(0).sdg(0))
+        assert "H" in text and "T" in text and "Sdg" in text
+
+    def test_cnot_markers(self):
+        text = draw_circuit(QuantumCircuit(2).cnot(0, 1))
+        lines = text.splitlines()
+        assert "*" in lines[0]
+        assert "|" in lines[1]
+        assert "X" in lines[2]
+
+    def test_cnot_direction(self):
+        text = draw_circuit(QuantumCircuit(2).cnot(1, 0))
+        lines = text.splitlines()
+        assert "X" in lines[0]
+        assert "*" in lines[2]
+
+    def test_angle_formatting(self):
+        text = draw_circuit(QuantumCircuit(1).rz(math.pi / 2, 0))
+        assert "RZ(pi/2)" in text
+
+    def test_arbitrary_angle(self):
+        text = draw_circuit(QuantumCircuit(1).rz(0.1234, 0))
+        assert "RZ(0.123)" in text
+
+    def test_distant_gate_connector_spans(self):
+        text = draw_circuit(QuantumCircuit(3).cnot(0, 2))
+        lines = text.splitlines()
+        # Both inter-wire gaps carry a connector in the gate's column.
+        connector_lines = [l for l in lines if "|" in l]
+        assert len(connector_lines) == 2
+
+    def test_measure_marker(self):
+        text = draw_circuit(QuantumCircuit(1).measure(0))
+        assert "M" in text
+
+    def test_moments_align_columns(self):
+        # Two parallel H's must share a column.
+        text = draw_circuit(QuantumCircuit(2).h(0).h(1))
+        lines = text.splitlines()
+        assert lines[0].index("H") == lines[1].index("H")
+
+    def test_barrier_ignored(self):
+        qc = QuantumCircuit(1).h(0)
+        qc.barrier()
+        qc.x(0)
+        text = draw_circuit(qc)
+        assert "H" in text and "X" in text
+
+    def test_method_on_circuit(self):
+        assert ghz_n4().draw() == draw_circuit(ghz_n4())
+
+    def test_xy_and_cphase_tags(self):
+        qc = QuantumCircuit(2).xy(math.pi, 0, 1).cphase(math.pi / 2, 0, 1)
+        text = draw_circuit(qc)
+        assert "XY(pi)" in text
+        assert "CPHASE(pi/2)" in text

@@ -1,0 +1,106 @@
+"""Tests for the Ornstein-Uhlenbeck drift processes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.device.drift import DriftingValue, OrnsteinUhlenbeck
+from repro.exceptions import DeviceError
+
+
+class TestOrnsteinUhlenbeck:
+    def test_initial_value_defaults_to_mean(self):
+        process = OrnsteinUhlenbeck(mean=0.5, stationary_std=0.1, correlation_time=10.0)
+        assert process.value == 0.5
+
+    def test_zero_std_is_constant(self):
+        process = OrnsteinUhlenbeck(mean=0.3, stationary_std=0.0, correlation_time=5.0)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert process.advance(100.0, rng) == 0.3
+
+    def test_zero_dt_is_noop(self):
+        process = OrnsteinUhlenbeck(mean=0.0, stationary_std=1.0, correlation_time=1.0)
+        rng = np.random.default_rng(0)
+        assert process.advance(0.0, rng) == 0.0
+
+    def test_negative_dt_rejected(self):
+        process = OrnsteinUhlenbeck(mean=0.0, stationary_std=1.0, correlation_time=1.0)
+        with pytest.raises(DeviceError):
+            process.advance(-1.0, np.random.default_rng(0))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DeviceError):
+            OrnsteinUhlenbeck(mean=0.0, stationary_std=-1.0, correlation_time=1.0)
+        with pytest.raises(DeviceError):
+            OrnsteinUhlenbeck(mean=0.0, stationary_std=1.0, correlation_time=0.0)
+
+    def test_stationary_statistics(self):
+        # Advance far past the correlation time repeatedly: samples should
+        # match the stationary distribution (mean, std).
+        process = OrnsteinUhlenbeck(mean=2.0, stationary_std=0.5, correlation_time=1.0)
+        rng = np.random.default_rng(42)
+        samples = [process.advance(50.0, rng) for _ in range(3000)]
+        assert np.mean(samples) == pytest.approx(2.0, abs=0.05)
+        assert np.std(samples) == pytest.approx(0.5, abs=0.05)
+
+    def test_mean_reversion(self):
+        process = OrnsteinUhlenbeck(
+            mean=0.0, stationary_std=1.0, correlation_time=10.0, value=5.0
+        )
+        rng = np.random.default_rng(0)
+        # One correlation time decays the offset by about 1/e.
+        values = []
+        for _ in range(500):
+            process.value = 5.0
+            values.append(process.advance(10.0, rng))
+        assert np.mean(values) == pytest.approx(5.0 * math.exp(-1.0), abs=0.15)
+
+    def test_small_steps_match_large_step_statistics(self):
+        # Advancing in many small steps must equal one big step in law.
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(8)
+        big, small = [], []
+        for _ in range(2000):
+            p1 = OrnsteinUhlenbeck(0.0, 1.0, 5.0, value=1.0)
+            p1.advance(5.0, rng_a)
+            big.append(p1.value)
+            p2 = OrnsteinUhlenbeck(0.0, 1.0, 5.0, value=1.0)
+            for _ in range(5):
+                p2.advance(1.0, rng_b)
+            small.append(p2.value)
+        assert np.mean(big) == pytest.approx(np.mean(small), abs=0.08)
+        assert np.std(big) == pytest.approx(np.std(small), abs=0.08)
+
+    def test_equilibrate_samples_stationary(self):
+        process = OrnsteinUhlenbeck(mean=1.0, stationary_std=0.2, correlation_time=3.0)
+        rng = np.random.default_rng(5)
+        samples = [process.equilibrate(rng) for _ in range(2000)]
+        assert np.std(samples) == pytest.approx(0.2, abs=0.02)
+
+
+class TestDriftingValue:
+    def test_fixed_never_moves(self):
+        value = DriftingValue.fixed(0.75)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            value.advance(1e9, rng)
+        assert value.current == 0.75
+
+    def test_clipping(self):
+        value = DriftingValue(
+            OrnsteinUhlenbeck(mean=0.0, stationary_std=1.0, correlation_time=1.0,
+                              value=-3.0),
+            low=0.0,
+            high=1.0,
+        )
+        assert value.current == 0.0
+
+    def test_advance_returns_clipped(self):
+        value = DriftingValue(
+            OrnsteinUhlenbeck(mean=5.0, stationary_std=0.0, correlation_time=1.0),
+            low=0.0,
+            high=1.0,
+        )
+        assert value.advance(10.0, np.random.default_rng(0)) == 1.0

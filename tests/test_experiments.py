@@ -1,0 +1,266 @@
+"""Integration tests: every registered experiment runs and reproduces
+its qualitative claim at reduced budget."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    run_experiment,
+)
+
+QUICK = dict(seed=23, drift_hours=12.0)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext.create(**QUICK)
+
+
+class TestContext:
+    def test_staleness_protocol(self):
+        ctx = ExperimentContext.create(seed=5, drift_hours=6.0)
+        # 6h: xy/cz refreshed at least once (4h cadence), cphase not.
+        assert ctx.service.staleness_us("cphase") > 5 * 3_600e6
+        assert ctx.service.staleness_us("cz") < 4 * 3_600e6
+
+    def test_unknown_device(self):
+        with pytest.raises(ReproError):
+            ExperimentContext.create(device_name="sycamore")
+
+    def test_pick_link_full_support(self, context):
+        link = context.pick_link()
+        assert len(context.device.supported_gates(*link)) == 3
+
+    def test_exact_vs_measured_consistent(self, context):
+        from repro.experiments.characterization import micro_benchmark_circuit
+
+        link = context.pick_link()
+        circuit = micro_benchmark_circuit(link, "cz", math.pi, "y")
+        ideal = {"11": 1.0}
+        exact = context.exact_success_rate(circuit, ideal)
+        measured = context.measured_success_rate(circuit, ideal, 4096)
+        assert measured == pytest.approx(exact, abs=0.05)
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        expected = {
+            "fig1c", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig12", "fig17", "fig18", "fig19", "fig20", "fig21",
+            "fig22", "table1", "table2",
+            "ablation_budget", "ablation_shots", "ablation_order",
+            "extension_cdr", "extension_passes", "fig18_multi",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            run_experiment("fig99")
+
+
+class TestMotivation:
+    def test_fig1c(self, context):
+        result = run_experiment("fig1c", context=context, shots=512)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert 0.0 <= row[1] <= 1.0
+
+    def test_fig3(self, context):
+        result = run_experiment("fig3", context=context, shots=256)
+        values = result.series["success_rates_in_enumeration_order"]
+        assert len(values) == 81
+        ratio = dict((r[0], r[1]) for r in result.rows)["best / noise-adaptive"]
+        assert ratio >= 1.0
+
+    def test_fig9(self, context):
+        result = run_experiment("fig9", context=context, shots=256)
+        assert len(result.series["ghz_srs"]) == len(result.series["vqe_srs"])
+
+
+class TestCharacterization:
+    def test_fig5(self, context):
+        result = run_experiment("fig5", context=context, shots=512)
+        assert len(result.rows) == 5  # the theta grid
+        for gate_series in result.series.values():
+            assert len(gate_series) == 5
+
+    def test_fig6_quick(self, context):
+        result = run_experiment("fig6", context=context, max_links=6)
+        stats = dict((r[0], r[1]) for r in result.rows)
+        assert stats["links characterized"] == 6
+        assert stats["circuits run"] > 0
+
+    def test_fig7(self, context):
+        result = run_experiment(
+            "fig7", context=context, shots=512, cycle_gap_hours=24.0
+        )
+        assert len(result.rows) == 5
+
+
+class TestDrift:
+    def test_fig8_plateaus(self):
+        ctx = ExperimentContext.create(seed=9, drift_hours=0.0)
+        result = run_experiment("fig8", context=ctx, hours=12.0)
+        # Reported error must plateau between refreshes for cphase
+        # (24h cadence, never refreshed in 12h).
+        by_gate = {row[0]: row for row in result.rows}
+        cphase = by_gate.get("CPHASE")
+        if cphase is not None:
+            assert cphase[2] == cphase[3]  # all steps are plateau steps
+        # True error must actually move.
+        for name, series in result.series.items():
+            if name.startswith("true_"):
+                assert max(series) - min(series) > 0
+
+    def test_fig21(self, context):
+        result = run_experiment(
+            "fig21", context=context, iterations=3, shots=256, probe_shots=256
+        )
+        assert len(result.rows) == 3
+        assert len(result.series["runtime_best"]) == 3
+
+    def test_fig22(self, context):
+        result = run_experiment(
+            "fig22", context=context, iterations=3, shots=256
+        )
+        assert sum(row[1] for row in result.rows) == 3
+
+
+class TestCopycatQuality:
+    def test_fig12_replacement_ordering(self, context):
+        result = run_experiment("fig12", context=context, exact=True)
+        sccs = {row[0]: row[1] for row in result.rows}
+        # The nearest-Clifford CopyCat must imitate at least as well as
+        # the deliberately-bad X replacement.
+        assert sccs["nearest-Clifford CopyCat"] > sccs["X CopyCat"]
+
+    def test_fig19_positive_correlation(self, context):
+        result = run_experiment("fig19", context=context, exact=True)
+        scc = dict((r[0], r[1]) for r in result.rows)["Spearman correlation"]
+        assert scc > 0.5
+
+
+class TestMainEval:
+    def test_fig18_quick(self, context):
+        result = run_experiment(
+            "fig18",
+            context=context,
+            benchmarks=("GHZ_n4", "tele_n2"),
+            final_shots=512,
+            probe_shots=256,
+            runtime_best_shots=128,
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row[1] > 0  # baseline SR
+            assert row[6] >= 3  # copycats executed
+
+    def test_fig18_multi_quick(self):
+        result = run_experiment(
+            "fig18_multi",
+            seeds=(5,),
+            benchmarks=("tele_n2",),
+            drift_hours=3.0,
+            final_shots=256,
+            probe_shots=128,
+            runtime_best_shots=64,
+        )
+        assert result.rows[-1][0] == "pooled"
+        assert len(result.rows) == 2
+
+    def test_table1(self, context):
+        result = run_experiment("table1", context=context)
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["toff_n3"][4] == 9  # routed sites (paper VI-B)
+        assert by_name["GHZ_n4"][4] == 3
+
+    def test_table2(self, context):
+        result = run_experiment("table2", context=context)
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["toff_n3"][3] == "19.7K"
+        # ANGEL = 1 + sum(|options|-1) = 1+2L with full support.
+        for row in result.rows:
+            assert row[5] <= 1 + 2 * row[2]
+
+
+class TestAblation:
+    def test_fig20(self, context):
+        result = run_experiment(
+            "fig20",
+            context=context,
+            benchmarks=("GHZ_n4",),
+            trials=1,
+            probe_shots=256,
+            final_shots=512,
+        )
+        assert len(result.rows) == 1
+
+    def test_ablation_budget(self, context):
+        result = run_experiment(
+            "ablation_budget", context=context, budgets=(0, 4)
+        )
+        assert len(result.rows) == 2
+        for budget, retained, scc, entropy in result.rows:
+            assert retained <= budget
+            assert -1.0 <= scc <= 1.0
+            assert entropy >= 0.0
+
+    def test_ablation_shots(self, context):
+        result = run_experiment(
+            "ablation_shots",
+            context=context,
+            shot_budgets=(64, 512),
+            final_shots=512,
+        )
+        assert len(result.rows) == 2
+
+    def test_ablation_order(self, context):
+        result = run_experiment(
+            "ablation_order",
+            context=context,
+            benchmarks=("GHZ_n4",),
+            trials=1,
+            probe_shots=256,
+            final_shots=512,
+        )
+        assert len(result.rows) == 1
+
+
+class TestExtensions:
+    def test_extension_cdr_quick(self, context):
+        result = run_experiment(
+            "extension_cdr",
+            context=context,
+            benchmark="tele_n2",
+            num_training=4,
+            training_shots=128,
+            target_shots=256,
+            probe_shots=128,
+        )
+        assert len(result.rows) == 2
+        labels = {row[0] for row in result.rows}
+        assert labels == {"baseline", "ANGEL"}
+
+    def test_extension_passes_quick(self, context):
+        result = run_experiment(
+            "extension_passes",
+            context=context,
+            benchmarks=("GHZ_n4",),
+            passes=(1, 2),
+            probe_shots=128,
+            final_shots=256,
+        )
+        assert len(result.rows) == 2
+        one_pass, two_pass = result.rows
+        assert two_pass[2] >= one_pass[2]  # probes grow with passes
+
+
+class TestDeviceReport:
+    def test_fig17(self, context):
+        result = run_experiment("fig17", context=context, max_links=10)
+        assert len(result.rows) == 10
+        assert len(result.series["readout_fidelity"]) == 38

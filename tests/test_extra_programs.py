@@ -1,0 +1,94 @@
+"""Tests for the beyond-Table-I benchmark programs."""
+
+import math
+
+import pytest
+
+from repro.programs import (
+    adder_n4,
+    benchmark_suite,
+    fredkin_n3,
+    get_benchmark,
+    qft,
+    qft_n3,
+    w_state,
+    w_state_n4,
+)
+from repro.sim.statevector import ideal_distribution
+
+
+class TestWState:
+    def test_uniform_one_hot(self):
+        dist = ideal_distribution(w_state_n4())
+        one_hot = {"0001", "0010", "0100", "1000"}
+        assert set(dist) == one_hot
+        for prob in dist.values():
+            assert prob == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_general_width(self, n):
+        dist = ideal_distribution(w_state(n))
+        assert len(dist) == n
+        for key, prob in dist.items():
+            assert key.count("1") == 1
+            assert prob == pytest.approx(1.0 / n)
+
+    def test_cnot_count(self):
+        assert w_state(4).cnot_count() == 9
+
+    def test_too_narrow(self):
+        with pytest.raises(ValueError):
+            w_state(1)
+
+
+class TestQft:
+    def test_uniform_magnitudes(self):
+        dist = ideal_distribution(qft_n3())
+        assert len(dist) == 8
+        for prob in dist.values():
+            assert prob == pytest.approx(1 / 8)
+
+    def test_matches_dense_dft(self):
+        # QFT on |111>: amplitudes are the DFT column of index 7.
+        import numpy as np
+
+        circuit = qft(3).without_measurements()
+        state = circuit.unitary()[:, 0]
+        n = 8
+        dft_column = np.array(
+            [np.exp(2j * np.pi * 7 * k / n) / np.sqrt(n) for k in range(n)]
+        )
+        overlap = abs(np.vdot(dft_column, state))
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            qft(0)
+
+
+class TestReversibleLogic:
+    def test_fredkin_swaps_on_control(self):
+        dist = ideal_distribution(fredkin_n3())
+        assert dist == {"101": pytest.approx(1.0)}
+
+    def test_adder_computes_1_plus_1_plus_1(self):
+        dist = ideal_distribution(adder_n4())
+        # sum bit (qubit 2) = 1, carry out (qubit 3) = 1.
+        assert dist == {"1111": pytest.approx(1.0)}
+
+
+class TestSuiteRegistration:
+    def test_extras_registered(self):
+        names = {s.name for s in benchmark_suite(include_extras=True)}
+        assert {"W_n4", "QFT_n3", "fredkin_n3", "adder_n4"} <= names
+
+    def test_extras_not_in_table1(self):
+        names = {s.name for s in benchmark_suite()}
+        assert "W_n4" not in names
+
+    def test_specs_consistent(self):
+        for name in ("W_n4", "QFT_n3", "fredkin_n3", "adder_n4"):
+            spec = get_benchmark(name)
+            circuit = spec.build()
+            assert circuit.cnot_count() == spec.logical_cnots
+            assert circuit.num_qubits == spec.qubits

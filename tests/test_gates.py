@@ -1,0 +1,191 @@
+"""Tests for repro.circuit.gates: registry, matrices, Clifford predicates."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.gates import (
+    GATE_REGISTRY,
+    Gate,
+    GateSpec,
+    cphase_matrix,
+    gate_matrix,
+    register_gate,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    u3_matrix,
+    xy_matrix,
+)
+from repro.exceptions import CircuitError
+from repro.linalg import is_unitary, unitaries_equal_up_to_phase
+
+ANGLES = st.floats(-2 * math.pi, 2 * math.pi, allow_nan=False)
+
+
+class TestMatrices:
+    @pytest.mark.parametrize(
+        "name",
+        ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "cnot", "cz", "swap", "iswap"],
+    )
+    def test_fixed_gates_are_unitary(self, name):
+        assert is_unitary(gate_matrix(name))
+
+    @given(theta=ANGLES)
+    @settings(max_examples=25, deadline=None)
+    def test_rotations_are_unitary(self, theta):
+        for builder in (rx_matrix, ry_matrix, rz_matrix, cphase_matrix, xy_matrix):
+            assert is_unitary(builder(theta))
+
+    def test_xy_pi_is_iswap(self):
+        assert np.allclose(xy_matrix(math.pi), gate_matrix("iswap"))
+
+    def test_cphase_pi_is_cz(self):
+        assert np.allclose(cphase_matrix(math.pi), gate_matrix("cz"))
+
+    def test_cphase_half_pi_squares_to_cz(self):
+        half = cphase_matrix(math.pi / 2)
+        assert np.allclose(half @ half, gate_matrix("cz"))
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert unitaries_equal_up_to_phase(rx_matrix(math.pi), gate_matrix("x"))
+
+    def test_rz_composition(self):
+        assert np.allclose(
+            rz_matrix(0.3) @ rz_matrix(0.4), rz_matrix(0.7), atol=1e-12
+        )
+
+    def test_u3_covers_hadamard(self):
+        h = u3_matrix(math.pi / 2, 0.0, math.pi)
+        assert unitaries_equal_up_to_phase(h, gate_matrix("h"))
+
+    def test_s_squared_is_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"))
+
+    def test_cnot_action(self):
+        cnot = gate_matrix("cnot")
+        # Big-endian: first qubit (control) is the most significant bit.
+        state = np.zeros(4)
+        state[0b10] = 1.0  # control=1, target=0
+        assert (cnot @ state)[0b11] == pytest.approx(1.0)
+
+
+class TestGateConstruction:
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CircuitError, match="unknown gate"):
+            Gate("frobnicate", (0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CircuitError, match="expects 2 qubits"):
+            Gate("cnot", (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError, match="duplicate"):
+            Gate("cnot", (1, 1))
+
+    def test_wrong_params_rejected(self):
+        with pytest.raises(CircuitError, match="expects 1 params"):
+            Gate("rx", (0,))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(CircuitError, match="negative"):
+            Gate("x", (-1,))
+
+    def test_gates_hashable_and_equal(self):
+        assert Gate("rx", (0,), (0.5,)) == Gate("rx", (0,), (0.5,))
+        assert hash(Gate("cz", (0, 1))) == hash(Gate("cz", (0, 1)))
+
+    def test_remap(self):
+        gate = Gate("cnot", (0, 1)).remap([5, 3])
+        assert gate.qubits == (5, 3)
+
+    def test_str_contains_params(self):
+        assert "rx(0.5)" in str(Gate("rx", (2,), (0.5,)))
+
+
+class TestInverse:
+    @pytest.mark.parametrize("name", ["x", "y", "z", "h", "cnot", "cz", "swap", "id"])
+    def test_self_inverse(self, name):
+        spec = GATE_REGISTRY[name]
+        gate = Gate(name, tuple(range(spec.num_qubits)))
+        matrix = gate.matrix()
+        assert np.allclose(matrix @ gate.inverse().matrix(), np.eye(matrix.shape[0]))
+
+    @pytest.mark.parametrize("name,inv", [("s", "sdg"), ("t", "tdg")])
+    def test_named_inverse(self, name, inv):
+        assert Gate(name, (0,)).inverse().name == inv
+
+    @given(theta=ANGLES)
+    @settings(max_examples=20, deadline=None)
+    def test_rotation_inverse(self, theta):
+        for name in ("rx", "ry", "rz", "phase"):
+            gate = Gate(name, (0,), (theta,))
+            product = gate.matrix() @ gate.inverse().matrix()
+            assert unitaries_equal_up_to_phase(product, np.eye(2))
+
+    @given(theta=ANGLES)
+    @settings(max_examples=20, deadline=None)
+    def test_two_qubit_parametric_inverse(self, theta):
+        for name in ("cphase", "xy"):
+            gate = Gate(name, (0, 1), (theta,))
+            product = gate.matrix() @ gate.inverse().matrix()
+            assert np.allclose(product, np.eye(4), atol=1e-9)
+
+    def test_u3_inverse(self):
+        gate = Gate("u3", (0,), (0.3, 0.8, -0.2))
+        product = gate.matrix() @ gate.inverse().matrix()
+        assert unitaries_equal_up_to_phase(product, np.eye(2))
+
+    def test_iswap_inverse(self):
+        gate = Gate("iswap", (0, 1))
+        product = gate.matrix() @ gate.inverse().matrix()
+        assert np.allclose(product, np.eye(4), atol=1e-9)
+
+    def test_measure_not_invertible(self):
+        with pytest.raises(CircuitError):
+            Gate("measure", (0,)).inverse()
+
+
+class TestCliffordPredicates:
+    @pytest.mark.parametrize("name", ["x", "y", "z", "h", "s", "sdg", "cnot", "cz", "swap", "iswap"])
+    def test_fixed_cliffords(self, name):
+        spec = GATE_REGISTRY[name]
+        assert Gate(name, tuple(range(spec.num_qubits))).is_clifford
+
+    @pytest.mark.parametrize("name", ["t", "tdg"])
+    def test_t_gates_not_clifford(self, name):
+        assert not Gate(name, (0,)).is_clifford
+
+    def test_rz_clifford_angles(self):
+        assert Gate("rz", (0,), (math.pi / 2,)).is_clifford
+        assert Gate("rz", (0,), (math.pi,)).is_clifford
+        assert not Gate("rz", (0,), (math.pi / 4,)).is_clifford
+
+    def test_xy_clifford_angles(self):
+        assert Gate("xy", (0, 1), (math.pi,)).is_clifford
+        assert not Gate("xy", (0, 1), (math.pi / 2,)).is_clifford
+
+    def test_cphase_clifford_angles(self):
+        assert Gate("cphase", (0, 1), (math.pi,)).is_clifford
+        assert not Gate("cphase", (0, 1), (math.pi / 2,)).is_clifford
+
+    def test_measure_not_clifford(self):
+        assert not Gate("measure", (0,)).is_clifford
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(CircuitError, match="already registered"):
+            register_gate(GateSpec("x", 1, 0, None, lambda: True))
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(CircuitError, match="no matrix"):
+            gate_matrix("measure")
+
+    def test_unknown_matrix_lookup(self):
+        with pytest.raises(CircuitError, match="unknown gate"):
+            gate_matrix("nope")

@@ -1,0 +1,89 @@
+"""Tests for the lookahead (SABRE-style) routing strategy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.compiler.mapping import Layout, trivial_layout
+from repro.compiler.routing import route_circuit
+from repro.device.topology import Topology, linear_topology
+from repro.exceptions import CompilationError
+from repro.sim.statevector import ideal_distribution
+
+
+class TestLookaheadBasics:
+    def test_unknown_strategy_rejected(self):
+        topo = linear_topology(3)
+        with pytest.raises(CompilationError, match="strategy"):
+            route_circuit(
+                QuantumCircuit(2), topo, Layout((0, 1)), strategy="quantum"
+            )
+
+    def test_adjacent_gates_untouched(self):
+        topo = linear_topology(3)
+        qc = QuantumCircuit(2).cnot(0, 1)
+        routed = route_circuit(qc, topo, Layout((0, 1)), strategy="lookahead")
+        assert routed.swap_count == 0
+
+    def test_all_gates_land_on_links(self):
+        topo = linear_topology(5)
+        qc = QuantumCircuit(4).cnot(0, 3).cnot(1, 2).cnot(0, 2)
+        routed = route_circuit(
+            qc, topo, Layout((0, 1, 2, 3)), strategy="lookahead"
+        )
+        for pair in routed.circuit.two_qubit_pairs():
+            if not topo.has_link(*pair):
+                # swaps are on links too
+                assert False, pair
+
+    def test_disconnected_raises(self):
+        topo = Topology("split", (0, 1, 2, 3), ((0, 1), (2, 3)))
+        qc = QuantumCircuit(3).cnot(0, 2)
+        with pytest.raises(CompilationError):
+            route_circuit(qc, topo, Layout((0, 1, 2)), strategy="lookahead")
+
+
+class TestLookaheadQuality:
+    def test_avoids_ping_pong_on_interleaved_pattern(self):
+        # The pattern that ping-pongs a greedy router: (0,2) and (1,2)
+        # alternating on a line with the bad layout 0@p0, 1@p1, 2@p2.
+        topo = linear_topology(3)
+        qc = QuantumCircuit(3)
+        for _ in range(3):
+            qc.cnot(1, 2)
+            qc.cnot(0, 2)
+        greedy = route_circuit(qc, topo, Layout((0, 1, 2)), strategy="greedy")
+        lookahead = route_circuit(
+            qc, topo, Layout((0, 1, 2)), strategy="lookahead"
+        )
+        assert lookahead.swap_count <= greedy.swap_count
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_semantics_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(4, 10, rng)
+        topo = linear_topology(6)
+        layout = trivial_layout(qc, topo)
+        routed = route_circuit(qc, topo, layout, strategy="lookahead")
+        compact, _ = routed.circuit.compacted()
+        ideal = ideal_distribution(qc)
+        actual = ideal_distribution(compact)
+        for key in set(ideal) | set(actual):
+            assert ideal.get(key, 0.0) == pytest.approx(
+                actual.get(key, 0.0), abs=1e-9
+            )
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_swap_counts_comparable(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(5, 15, rng)
+        topo = linear_topology(6)
+        layout = trivial_layout(qc, topo)
+        greedy = route_circuit(qc, topo, layout, strategy="greedy")
+        lookahead = route_circuit(qc, topo, layout, strategy="lookahead")
+        # Lookahead should not be catastrophically worse.
+        assert lookahead.swap_count <= 2 * greedy.swap_count + 2

@@ -1,0 +1,83 @@
+"""Tests for qubit mapping strategies."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compiler.mapping import (
+    Layout,
+    noise_adaptive_layout,
+    trivial_layout,
+)
+from repro.device import CalibrationService, small_test_device
+from repro.device.topology import linear_topology
+from repro.exceptions import CompilationError
+from repro.programs import ghz_n4
+
+
+class TestLayout:
+    def test_injective(self):
+        with pytest.raises(CompilationError):
+            Layout((0, 0, 1))
+
+    def test_phys_lookup(self):
+        layout = Layout((3, 1, 4))
+        assert layout.phys(0) == 3
+        assert layout.logical_of() == {3: 0, 1: 1, 4: 2}
+
+    def test_as_mapping(self):
+        assert Layout((2, 0)).as_mapping() == [2, 0]
+
+
+class TestTrivialLayout:
+    def test_connected_region(self):
+        topo = linear_topology(6)
+        layout = trivial_layout(QuantumCircuit(3), topo)
+        assert len(layout) == 3
+        assert layout.phys(0) == 0
+
+    def test_seeded(self):
+        topo = linear_topology(6)
+        layout = trivial_layout(QuantumCircuit(3), topo, seed_qubit=2)
+        assert layout.phys(0) == 2
+
+
+class TestNoiseAdaptiveLayout:
+    @pytest.fixture()
+    def setup(self):
+        device = small_test_device(6, seed=5)
+        service = CalibrationService(device, seed=0)
+        service.full_calibration()
+        return device, service.data
+
+    def test_produces_valid_layout(self, setup):
+        device, calibration = setup
+        layout = noise_adaptive_layout(ghz_n4(), device, calibration)
+        assert len(layout) == 4
+        assert len(set(layout.physical)) == 4
+        for phys in layout.physical:
+            assert phys in device.topology.qubits
+
+    def test_rejects_oversized_program(self, setup):
+        device, calibration = setup
+        with pytest.raises(CompilationError):
+            noise_adaptive_layout(QuantumCircuit(10), device, calibration)
+
+    def test_prefers_better_region(self, setup):
+        device, calibration = setup
+        # Degrade calibration records touching qubit 0 so the chosen
+        # region avoids it.
+        from repro.device.calibration import CalibrationRecord
+
+        for (link, gate), rec in list(calibration.two_qubit.items()):
+            if 0 in link:
+                calibration.two_qubit[(link, gate)] = CalibrationRecord(
+                    0.3, rec.timestamp_us
+                )
+        layout = noise_adaptive_layout(ghz_n4(), device, calibration)
+        assert 0 not in layout.physical
+
+    def test_deterministic(self, setup):
+        device, calibration = setup
+        a = noise_adaptive_layout(ghz_n4(), device, calibration)
+        b = noise_adaptive_layout(ghz_n4(), device, calibration)
+        assert a.physical == b.physical

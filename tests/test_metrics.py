@@ -1,0 +1,155 @@
+"""Tests for success-rate and correlation metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.metrics import (
+    geometric_mean,
+    hellinger_fidelity,
+    relative_success_rates,
+    spearman_correlation,
+    success_rate,
+    success_rate_from_counts,
+    total_variation_distance,
+)
+
+
+def _random_distribution(rng, width=2):
+    probs = rng.dirichlet(np.ones(2**width))
+    return {format(i, f"0{width}b"): float(p) for i, p in enumerate(probs)}
+
+
+class TestTVD:
+    def test_identical_distributions(self):
+        p = {"00": 0.5, "11": 0.5}
+        assert total_variation_distance(p, dict(p)) == pytest.approx(0.0)
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance({"0": 1.0}, {"1": 1.0}) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        p = {"0": 0.8, "1": 0.2}
+        q = {"0": 0.5, "1": 0.5}
+        assert total_variation_distance(p, q) == pytest.approx(0.3)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        p, q = _random_distribution(rng), _random_distribution(rng)
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_and_triangle(self, seed):
+        rng = np.random.default_rng(seed)
+        p, q, r = (_random_distribution(rng) for _ in range(3))
+        d_pq = total_variation_distance(p, q)
+        d_qr = total_variation_distance(q, r)
+        d_pr = total_variation_distance(p, r)
+        assert 0.0 <= d_pq <= 1.0
+        assert d_pr <= d_pq + d_qr + 1e-9
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ReproError):
+            total_variation_distance({"0": 0.7}, {"0": 1.0})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            total_variation_distance({"0": 1.2, "1": -0.2}, {"0": 1.0})
+
+
+class TestSuccessRate:
+    def test_perfect_execution(self):
+        p = {"11": 1.0}
+        assert success_rate(p, p) == pytest.approx(1.0)
+
+    def test_complement_of_tvd(self):
+        p = {"0": 0.5, "1": 0.5}
+        q = {"0": 1.0}
+        assert success_rate(p, q) == pytest.approx(0.5)
+
+    def test_from_counts(self):
+        p = {"0": 1.0}
+        assert success_rate_from_counts(p, {"0": 90, "1": 10}) == pytest.approx(0.9)
+
+    def test_from_empty_counts_rejected(self):
+        with pytest.raises(ReproError):
+            success_rate_from_counts({"0": 1.0}, {})
+
+    def test_hellinger_bounds(self):
+        p = {"0": 0.5, "1": 0.5}
+        assert hellinger_fidelity(p, p) == pytest.approx(1.0)
+        assert hellinger_fidelity({"0": 1.0}, {"1": 1.0}) == pytest.approx(0.0)
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [10.0, 20.0, 30.0, 40.0]
+        assert spearman_correlation(x, y) == pytest.approx(1.0)
+
+    def test_perfect_antitone(self):
+        x = [1.0, 2.0, 3.0]
+        y = [5.0, 4.0, 3.0]
+        assert spearman_correlation(x, y) == pytest.approx(-1.0)
+
+    def test_monotone_nonlinear_still_one(self):
+        x = [0.1, 0.5, 0.9, 2.0]
+        y = [math.exp(v) for v in x]
+        assert spearman_correlation(x, y) == pytest.approx(1.0)
+
+    def test_ties_average_ranks(self):
+        # x has a tie; correlation should still be defined and high.
+        rho = spearman_correlation([1.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert 0.5 < rho < 1.0
+
+    def test_constant_input_returns_zero(self):
+        assert spearman_correlation([1.0, 1.0], [0.0, 5.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            spearman_correlation([1.0], [1.0, 2.0])
+
+    def test_too_short(self):
+        with pytest.raises(ReproError):
+            spearman_correlation([1.0], [2.0])
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_scipy(self, seed):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=12)
+        y = rng.normal(size=12)
+        ours = spearman_correlation(list(x), list(y))
+        theirs = spearmanr(x, y).statistic
+        assert ours == pytest.approx(float(theirs), abs=1e-9)
+
+
+class TestAggregation:
+    def test_relative_success_rates(self):
+        rel = relative_success_rates(0.5, {"angel": 0.7, "best": 0.8})
+        assert rel["angel"] == pytest.approx(1.4)
+        assert rel["best"] == pytest.approx(1.6)
+
+    def test_relative_rejects_zero_baseline(self):
+        with pytest.raises(ReproError):
+            relative_success_rates(0.0, {"angel": 0.7})
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])

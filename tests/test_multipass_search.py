@@ -1,0 +1,77 @@
+"""Tests for the multi-pass extension of the localized search."""
+
+import pytest
+
+from repro.compiler.nativization import CnotSite
+from repro.core.search import localized_search
+from repro.core.sequence import NativeGateSequence
+from repro.exceptions import SearchError
+
+
+def _sites():
+    return (CnotSite(0, 0, 1), CnotSite(1, 1, 2))
+
+
+OPTIONS = {
+    (0, 1): ("xy", "cz", "cphase"),
+    (1, 2): ("xy", "cz", "cphase"),
+}
+
+
+class TestMultiPass:
+    def test_invalid_pass_count(self):
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        with pytest.raises(SearchError):
+            localized_search(lambda s: 0.0, initial, OPTIONS, max_passes=0)
+
+    def test_single_pass_default_budget(self):
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        _, trace = localized_search(lambda s: 0.0, initial, OPTIONS)
+        assert trace.num_probes == 5  # 1 + 2*2
+
+    def test_quiet_pass_terminates_early(self):
+        # Constant objective: no updates, so pass 2+ never runs.
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        _, trace = localized_search(
+            lambda s: 0.5, initial, OPTIONS, max_passes=5
+        )
+        assert trace.num_probes == 5
+
+    def test_second_pass_escapes_first_pass_trap(self):
+        # Interaction objective: the optimum ("xy" on both links) is only
+        # reachable after link (1,2) flips — a single program-order pass
+        # misses the (0,1) flip, a second pass finds it.
+        def probe(sequence):
+            a = sequence.gates_on_link((0, 1))[0]
+            b = sequence.gates_on_link((1, 2))[0]
+            if a == "xy" and b == "xy":
+                return 1.0
+            if b == "xy":
+                return 0.6
+            if a == "cz" and b == "cz":
+                return 0.5
+            return 0.1
+
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        one_pass, trace1 = localized_search(
+            probe, initial, OPTIONS, max_passes=1
+        )
+        two_pass, trace2 = localized_search(
+            probe, initial, OPTIONS, max_passes=2
+        )
+        assert one_pass.gates == ("cz", "xy")
+        assert two_pass.gates == ("xy", "xy")
+        assert trace2.num_probes > trace1.num_probes
+
+    def test_passes_accumulate_probe_records(self):
+        calls = []
+
+        def probe(sequence):
+            calls.append(sequence.gates)
+            # Always slightly better to flip something: forces updates.
+            return len(calls) * 0.01
+
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        _, trace = localized_search(probe, initial, OPTIONS, max_passes=3)
+        # 1 reference + 3 passes x 4 candidates.
+        assert trace.num_probes == 1 + 3 * 4

@@ -1,0 +1,115 @@
+"""Tests for native gate sets and CNOT decompositions (paper Fig. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, gate_matrix, u3_matrix
+from repro.device.native_gates import (
+    DEFAULT_PULSE_DURATIONS_NS,
+    NATIVE_TWO_QUBIT_GATES,
+    RIGETTI_NATIVE_GATES,
+    cnot_decomposition,
+    cnot_duration_ns,
+    cnot_pulse_count,
+    hadamard_native,
+    native_two_qubit_gate_instances,
+    u3_native,
+)
+from repro.exceptions import DeviceError
+from repro.linalg import unitaries_equal_up_to_phase
+
+CNOT_REVERSED = np.array(
+    [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+)
+
+
+def _circuit_unitary(gates, width=2):
+    qc = QuantumCircuit(width)
+    for gate in gates:
+        qc.append(gate)
+    return qc.unitary()
+
+
+class TestDecompositionCorrectness:
+    @pytest.mark.parametrize("native", NATIVE_TWO_QUBIT_GATES)
+    def test_cnot_exact(self, native):
+        unitary = _circuit_unitary(cnot_decomposition(native, 0, 1))
+        assert unitaries_equal_up_to_phase(unitary, gate_matrix("cnot"))
+
+    @pytest.mark.parametrize("native", NATIVE_TWO_QUBIT_GATES)
+    def test_cnot_reversed_direction(self, native):
+        unitary = _circuit_unitary(cnot_decomposition(native, 1, 0))
+        assert unitaries_equal_up_to_phase(unitary, CNOT_REVERSED)
+
+    @pytest.mark.parametrize("native", NATIVE_TWO_QUBIT_GATES)
+    def test_decomposition_uses_only_native_gates(self, native):
+        for gate in cnot_decomposition(native, 0, 1):
+            assert RIGETTI_NATIVE_GATES.is_native(gate), gate
+
+    def test_unknown_native_rejected(self):
+        with pytest.raises(DeviceError):
+            cnot_decomposition("cr", 0, 1)
+
+    def test_hadamard_native(self):
+        unitary = _circuit_unitary(hadamard_native(0), width=1)
+        assert unitaries_equal_up_to_phase(unitary, gate_matrix("h"))
+
+    @pytest.mark.parametrize(
+        "angles", [(0.3, 0.7, -1.1), (math.pi / 2, 0.0, math.pi), (2.5, -2.0, 0.1)]
+    )
+    def test_u3_native(self, angles):
+        unitary = _circuit_unitary(u3_native(*angles, 0), width=1)
+        assert unitaries_equal_up_to_phase(unitary, u3_matrix(*angles))
+
+
+class TestPulseAccounting:
+    def test_pulse_counts_match_paper(self):
+        # Fig. 2c: CZ one pulse, XY and CPHASE two each.
+        assert cnot_pulse_count("cz") == 1
+        assert cnot_pulse_count("xy") == 2
+        assert cnot_pulse_count("cphase") == 2
+
+    def test_unknown_gate_pulse_count(self):
+        with pytest.raises(DeviceError):
+            cnot_pulse_count("cr")
+
+    def test_duration_scales_with_pulses(self):
+        assert cnot_duration_ns("xy") == 2 * DEFAULT_PULSE_DURATIONS_NS["xy"]
+        assert cnot_duration_ns("cz") == DEFAULT_PULSE_DURATIONS_NS["cz"]
+
+    def test_pulse_instances_compose_to_entangler(self):
+        # Two CPHASE(pi/2) pulses compose exactly to CZ.
+        pulses = native_two_qubit_gate_instances("cphase", 0, 1)
+        assert len(pulses) == 2
+        unitary = _circuit_unitary(pulses)
+        assert np.allclose(unitary, gate_matrix("cz"))
+
+    def test_xy_pulse_instances(self):
+        pulses = native_two_qubit_gate_instances("xy", 0, 1)
+        assert len(pulses) == 2
+        assert all(g.name == "xy" for g in pulses)
+
+
+class TestNativeGateSet:
+    def test_rx_angle_restriction(self):
+        assert RIGETTI_NATIVE_GATES.is_native(Gate("rx", (0,), (math.pi / 2,)))
+        assert RIGETTI_NATIVE_GATES.is_native(Gate("rx", (0,), (-math.pi,)))
+        assert not RIGETTI_NATIVE_GATES.is_native(Gate("rx", (0,), (0.3,)))
+
+    def test_rz_unrestricted(self):
+        assert RIGETTI_NATIVE_GATES.is_native(Gate("rz", (0,), (0.12345,)))
+
+    def test_two_qubit_members(self):
+        assert RIGETTI_NATIVE_GATES.is_native(Gate("cz", (0, 1)))
+        assert RIGETTI_NATIVE_GATES.is_native(Gate("xy", (0, 1), (math.pi,)))
+        assert not RIGETTI_NATIVE_GATES.is_native(Gate("cnot", (0, 1)))
+
+    def test_measure_and_barrier_allowed(self):
+        assert RIGETTI_NATIVE_GATES.is_native(Gate("measure", (0,)))
+        assert RIGETTI_NATIVE_GATES.is_native(Gate("barrier", ()))
+
+    def test_h_not_native(self):
+        assert not RIGETTI_NATIVE_GATES.is_native(Gate("h", (0,)))

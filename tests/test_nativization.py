@@ -1,0 +1,149 @@
+"""Tests for gate nativization and CNOT site extraction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.circuit.gates import Gate
+from repro.compiler.nativization import (
+    extract_cnot_sites,
+    nativize,
+    single_qubit_native,
+)
+from repro.device.native_gates import RIGETTI_NATIVE_GATES
+from repro.exceptions import CompilationError
+from repro.linalg import unitaries_equal_up_to_phase
+from repro.sim.statevector import ideal_distribution
+
+
+class TestSiteExtraction:
+    def test_cnot_sites_in_order(self):
+        qc = QuantumCircuit(3).cnot(0, 1).cnot(2, 1).cnot(0, 1)
+        sites = extract_cnot_sites(qc)
+        assert [s.index for s in sites] == [0, 1, 2]
+        assert sites[0].link == (0, 1)
+        assert sites[1].link == (1, 2)
+        assert all(s.origin == "program" for s in sites)
+
+    def test_swap_expands_to_three_sites(self):
+        qc = QuantumCircuit(2).swap(0, 1)
+        sites = extract_cnot_sites(qc)
+        assert len(sites) == 3
+        assert all(s.origin == "swap" for s in sites)
+        assert all(s.link == (0, 1) for s in sites)
+        # Alternating direction.
+        assert (sites[0].control, sites[1].control, sites[2].control) == (0, 1, 0)
+
+    def test_other_gates_ignored(self):
+        qc = QuantumCircuit(2).h(0).cz(0, 1).measure_all()
+        assert extract_cnot_sites(qc) == []
+
+
+class TestSingleQubitNativization:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("x", ()),
+            ("y", ()),
+            ("z", ()),
+            ("h", ()),
+            ("s", ()),
+            ("sdg", ()),
+            ("t", ()),
+            ("tdg", ()),
+            ("rz", (0.37,)),
+            ("rx", (math.pi / 2,)),
+            ("rx", (1.234,)),
+            ("ry", (-0.8,)),
+            ("phase", (2.2,)),
+            ("u3", (0.5, 1.2, -0.7)),
+        ],
+    )
+    def test_exact_and_native(self, name, params):
+        gate = Gate(name, (0,), params)
+        rewritten = single_qubit_native(gate)
+        qc = QuantumCircuit(1)
+        for g in rewritten:
+            qc.append(g)
+            assert RIGETTI_NATIVE_GATES.is_native(g), g
+        assert unitaries_equal_up_to_phase(qc.unitary(), gate.matrix())
+
+    def test_identity_drops(self):
+        assert single_qubit_native(Gate("id", (0,))) == []
+
+    def test_zero_rx_drops(self):
+        assert single_qubit_native(Gate("rx", (0,), (0.0,))) == []
+
+
+class TestNativize:
+    def _assign_all(self, circuit, gate_name):
+        sites = extract_cnot_sites(circuit)
+        return {s.index: gate_name for s in sites}
+
+    @pytest.mark.parametrize("native", ["xy", "cz", "cphase"])
+    def test_ghz_distribution_preserved(self, native):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).cnot(1, 2).measure_all()
+        native_qc = nativize(qc, self._assign_all(qc, native))
+        for gate in native_qc:
+            assert RIGETTI_NATIVE_GATES.is_native(gate), gate
+        ideal = ideal_distribution(qc)
+        nativized = ideal_distribution(native_qc)
+        for key in set(ideal) | set(nativized):
+            assert ideal.get(key, 0.0) == pytest.approx(
+                nativized.get(key, 0.0), abs=1e-9
+            )
+
+    def test_swap_nativized_per_site(self):
+        qc = QuantumCircuit(2).x(0).swap(0, 1).measure_all()
+        site_gates = {0: "cz", 1: "xy", 2: "cphase"}
+        native_qc = nativize(qc, site_gates)
+        dist = ideal_distribution(native_qc)
+        assert dist["01"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_mixed_assignment(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).cnot(1, 2).measure_all()
+        native_qc = nativize(qc, {0: "xy", 1: "cphase"})
+        names = {g.name for g in native_qc.gates()}
+        assert "xy" in names and "cphase" in names
+
+    def test_missing_site_assignment_raises(self):
+        qc = QuantumCircuit(2).cnot(0, 1)
+        with pytest.raises(CompilationError, match="no native gate assigned"):
+            nativize(qc, {})
+
+    def test_iswap_passthrough_as_xy(self):
+        qc = QuantumCircuit(2).iswap(0, 1).measure_all()
+        native_qc = nativize(qc, {})
+        assert native_qc.count_ops().get("xy", 0) == 1
+
+    def test_native_two_qubit_gates_pass_through(self):
+        qc = QuantumCircuit(2).cz(0, 1).measure_all()
+        native_qc = nativize(qc, {})
+        assert native_qc.count_ops().get("cz") == 1
+
+    def test_name_suffix(self):
+        qc = QuantumCircuit(2, name="prog").cnot(0, 1)
+        native_qc = nativize(qc, {0: "cz"}, name_suffix="_v1")
+        assert native_qc.name == "prog_v1"
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_random_circuit_nativization_preserves_semantics(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(3, 8, rng)
+        sites = extract_cnot_sites(qc)
+        gates = ["xy", "cz", "cphase"]
+        assignment = {
+            s.index: gates[int(rng.integers(3))] for s in sites
+        }
+        native_qc = nativize(qc, assignment)
+        ideal = ideal_distribution(qc)
+        nativized = ideal_distribution(native_qc)
+        for key in set(ideal) | set(nativized):
+            assert ideal.get(key, 0.0) == pytest.approx(
+                nativized.get(key, 0.0), abs=1e-8
+            )

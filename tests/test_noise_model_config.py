@@ -1,0 +1,80 @@
+"""Tests for the NoiseModel lookup table."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import Gate
+from repro.exceptions import SimulationError
+from repro.sim.channels import ReadoutError, depolarizing_channel, two_qubit_depolarizing_channel
+from repro.sim.noise_model import GateNoiseSpec, NoiseModel
+
+
+class TestResolution:
+    def test_exact_match_wins(self):
+        model = NoiseModel()
+        exact = GateNoiseSpec(channels=(depolarizing_channel(0.1),))
+        blanket = GateNoiseSpec(channels=(depolarizing_channel(0.2),))
+        model.set_gate_noise("rx", blanket)
+        model.set_gate_noise("rx", exact, qubits=(3,))
+        assert model.spec_for(Gate("rx", (3,), (0.5,))) is exact
+        assert model.spec_for(Gate("rx", (4,), (0.5,))) is blanket
+
+    def test_qubit_key_is_order_insensitive(self):
+        model = NoiseModel()
+        spec = GateNoiseSpec(channels=(two_qubit_depolarizing_channel(0.1),))
+        model.set_gate_noise("cz", spec, qubits=(5, 2))
+        assert model.spec_for(Gate("cz", (2, 5))) is spec
+        assert model.spec_for(Gate("cz", (5, 2))) is spec
+
+    def test_arity_defaults(self):
+        model = NoiseModel()
+        one = GateNoiseSpec(channels=(depolarizing_channel(0.1),))
+        two = GateNoiseSpec(channels=(two_qubit_depolarizing_channel(0.2),))
+        model.set_arity_default(1, one)
+        model.set_arity_default(2, two)
+        assert model.spec_for(Gate("h", (0,))) is one
+        assert model.spec_for(Gate("cz", (0, 1))) is two
+
+    def test_invalid_arity_default(self):
+        with pytest.raises(SimulationError):
+            NoiseModel().set_arity_default(3, GateNoiseSpec())
+
+    def test_missing_means_noiseless(self):
+        model = NoiseModel()
+        assert model.spec_for(Gate("h", (0,))) is None
+        assert model.callback(Gate("h", (0,))) == []
+
+    def test_is_noiseless(self):
+        model = NoiseModel()
+        assert model.is_noiseless()
+        model.set_readout_error(0, ReadoutError(0.1, 0.05))
+        assert not model.is_noiseless()
+
+
+class TestOperations:
+    def test_coherent_then_channels_order(self):
+        coherent = np.array([[0, 1], [1, 0]], dtype=complex)
+        spec = GateNoiseSpec(
+            coherent=coherent, channels=(depolarizing_channel(0.1),)
+        )
+        ops = spec.operations((2,))
+        assert len(ops) == 2
+        assert ops[0][0].label == "coherent_error"
+        assert ops[0][1] == (2,)
+
+    def test_coherent_dimension_checked(self):
+        spec = GateNoiseSpec(coherent=np.eye(2, dtype=complex))
+        with pytest.raises(SimulationError):
+            spec.operations((0, 1))
+
+    def test_channel_arity_checked(self):
+        spec = GateNoiseSpec(channels=(depolarizing_channel(0.1),))
+        with pytest.raises(SimulationError):
+            spec.operations((0, 1))
+
+    def test_readout_error_list(self):
+        model = NoiseModel()
+        error = ReadoutError(0.1, 0.02)
+        model.set_readout_error(1, error)
+        dense = model.readout_error_list(3)
+        assert dense == [None, error, None]

@@ -1,0 +1,91 @@
+"""Tests for the full transpile pipeline."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compiler import transpile
+from repro.core import NativeGateSequence
+from repro.device import CalibrationService, small_test_device
+from repro.exceptions import CompilationError
+from repro.programs import bv_n4, ghz_n4, toffoli_n3
+from repro.sim.statevector import ideal_distribution
+
+
+@pytest.fixture(scope="module")
+def env():
+    device = small_test_device(6, seed=8)
+    service = CalibrationService(device, seed=0)
+    service.full_calibration()
+    return device, service.data
+
+
+class TestTranspile:
+    def test_ghz_pipeline(self, env):
+        device, calibration = env
+        compiled = transpile(ghz_n4(), device, calibration)
+        assert compiled.num_cnot_sites == 3
+        assert len(compiled.links_used()) == 3
+        for link in compiled.links_used():
+            assert device.topology.has_link(*link)
+
+    def test_toffoli_grows_to_nine_sites_on_a_line(self, env):
+        device, calibration = env
+        compiled = transpile(toffoli_n3(), device, calibration)
+        # 6 logical CNOTs + 1 routed SWAP (3 more) = 9 (paper VI-B).
+        assert compiled.num_cnot_sites == 9
+        origins = {s.origin for s in compiled.sites}
+        assert origins == {"program", "swap"}
+
+    def test_bv_site_growth(self, env):
+        device, calibration = env
+        compiled = transpile(bv_n4(), device, calibration)
+        # 3 logical CNOTs; line routing adds SWAPs.
+        assert compiled.num_cnot_sites > 3
+
+    def test_gate_options_cover_used_links(self, env):
+        device, calibration = env
+        compiled = transpile(ghz_n4(), device, calibration)
+        options = compiled.gate_options()
+        assert set(options) == set(compiled.links_used())
+        for gates in options.values():
+            assert gates  # every used link supports something
+
+    def test_ideal_distribution_is_logical(self, env):
+        device, calibration = env
+        compiled = transpile(ghz_n4(), device, calibration)
+        ideal = compiled.ideal_distribution()
+        assert ideal["0000"] == pytest.approx(0.5)
+        assert ideal["1111"] == pytest.approx(0.5)
+
+    def test_nativized_accepts_sequence_object(self, env):
+        device, calibration = env
+        compiled = transpile(ghz_n4(), device, calibration)
+        sequence = NativeGateSequence.uniform(compiled.sites, "cz")
+        circuit = compiled.nativized(sequence, name_suffix="_test")
+        assert circuit.name.endswith("_test")
+        # Executable end to end.
+        counts = device.run(circuit, 100, seed=0)
+        assert sum(counts.values()) == 100
+
+    def test_nativized_preserves_semantics(self, env):
+        device, calibration = env
+        compiled = transpile(ghz_n4(), device, calibration)
+        sequence = NativeGateSequence.uniform(compiled.sites, "xy")
+        native = compiled.nativized(sequence)
+        compact, _ = native.compacted()
+        dist = ideal_distribution(compact)
+        ideal = compiled.ideal_distribution()
+        for key in set(ideal) | set(dist):
+            assert ideal.get(key, 0.0) == pytest.approx(
+                dist.get(key, 0.0), abs=1e-9
+            )
+
+    def test_structural_transpile_without_calibration(self, env):
+        device, _ = env
+        compiled = transpile(ghz_n4(), device)
+        assert compiled.num_cnot_sites == 3
+
+    def test_program_too_wide(self, env):
+        device, calibration = env
+        with pytest.raises(CompilationError):
+            transpile(QuantumCircuit(20).h(0), device, calibration)

@@ -1,0 +1,131 @@
+"""Tests for selection policies: noise-adaptive, random, runtime-best."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import transpile
+from repro.compiler.nativization import CnotSite
+from repro.core.policies import (
+    noise_adaptive_sequence,
+    random_sequence,
+    runtime_best,
+)
+from repro.device import CalibrationService, small_test_device
+from repro.device.calibration import CalibrationData, CalibrationRecord
+from repro.programs import ghz_n4, teleport_n2
+
+
+def _sites():
+    return (CnotSite(0, 0, 1), CnotSite(1, 1, 2), CnotSite(2, 0, 1))
+
+
+OPTIONS = {
+    (0, 1): ("xy", "cz", "cphase"),
+    (1, 2): ("xy", "cz", "cphase"),
+}
+
+
+def _calibration(values):
+    data = CalibrationData()
+    for (link, gate), value in values.items():
+        data.two_qubit[(link, gate)] = CalibrationRecord(value, 0.0)
+    return data
+
+
+class TestNoiseAdaptive:
+    def test_picks_highest_calibrated(self):
+        data = _calibration(
+            {
+                ((0, 1), "xy"): 0.95,
+                ((0, 1), "cz"): 0.99,
+                ((0, 1), "cphase"): 0.97,
+                ((1, 2), "xy"): 0.99,
+                ((1, 2), "cz"): 0.90,
+                ((1, 2), "cphase"): 0.95,
+            }
+        )
+        seq = noise_adaptive_sequence(_sites(), data, OPTIONS)
+        assert seq.gates == ("cz", "xy", "cz")
+        assert seq.is_link_uniform()
+
+    def test_ignores_uncalibrated_unsupported(self):
+        data = _calibration(
+            {((0, 1), "cphase"): 0.9, ((1, 2), "xy"): 0.9}
+        )
+        seq = noise_adaptive_sequence(_sites(), data, OPTIONS)
+        assert seq.gates_on_link((0, 1))[0] == "cphase"
+        assert seq.gates_on_link((1, 2))[0] == "xy"
+
+    def test_no_calibration_falls_back_to_first_option(self):
+        data = _calibration({((0, 1), "cz"): 0.9})
+        seq = noise_adaptive_sequence(_sites(), data, OPTIONS)
+        # Link (1,2) has no records: first canonical option.
+        assert seq.gates_on_link((1, 2))[0] == "xy"
+
+
+class TestRandomSequence:
+    def test_link_uniform_by_default(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            seq = random_sequence(_sites(), OPTIONS, rng)
+            assert seq.is_link_uniform()
+
+    def test_seeded_reproducible(self):
+        a = random_sequence(_sites(), OPTIONS, np.random.default_rng(3))
+        b = random_sequence(_sites(), OPTIONS, np.random.default_rng(3))
+        assert a.gates == b.gates
+
+    def test_covers_the_space(self):
+        rng = np.random.default_rng(1)
+        seen = {
+            random_sequence(_sites(), OPTIONS, rng).gates
+            for _ in range(200)
+        }
+        assert len(seen) == 9  # 3 x 3 link-uniform assignments
+
+    def test_per_site_mode(self):
+        rng = np.random.default_rng(2)
+        seen = {
+            random_sequence(_sites(), OPTIONS, rng, link_uniform=False).gates
+            for _ in range(300)
+        }
+        assert len(seen) > 9  # escapes the link-uniform family
+
+
+class TestRuntimeBest:
+    @pytest.fixture(scope="class")
+    def env(self):
+        device = small_test_device(4, seed=19)
+        service = CalibrationService(device, seed=0)
+        service.full_calibration()
+        return device, service.data
+
+    def test_enumerates_full_space(self, env):
+        device, calibration = env
+        compiled = transpile(teleport_n2(), device, calibration)
+        best, evaluations = runtime_best(
+            compiled, shots=128, granularity="site", seed=1
+        )
+        assert len(evaluations) == 9  # 3^2 for two CNOT sites
+        assert best.success_rate == max(e.success_rate for e in evaluations)
+
+    def test_link_granularity_shrinks_space(self, env):
+        device, calibration = env
+        compiled = transpile(ghz_n4(), device, calibration)
+        _, site_evals = runtime_best(
+            compiled, shots=64, granularity="site", seed=2
+        )
+        _, link_evals = runtime_best(
+            compiled, shots=64, granularity="link", seed=2
+        )
+        assert len(site_evals) == 27
+        assert len(link_evals) == 27  # GHZ: one CNOT per link, same space
+
+    def test_best_beats_median(self, env):
+        device, calibration = env
+        compiled = transpile(ghz_n4(), device, calibration)
+        best, evaluations = runtime_best(
+            compiled, shots=256, granularity="link", seed=3
+        )
+        rates = sorted(e.success_rate for e in evaluations)
+        assert best.success_rate >= rates[len(rates) // 2]

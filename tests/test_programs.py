@@ -1,0 +1,126 @@
+"""Tests for the benchmark programs (Table I suite)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.programs import (
+    BenchmarkSpec,
+    benchmark_suite,
+    bernstein_vazirani,
+    bv_n4,
+    get_benchmark,
+    ghz,
+    ghz_n4,
+    ghz_n5,
+    linear_solver_n3,
+    qaoa_maxcut,
+    qaoa_n5,
+    qec_n4,
+    teleport_n2,
+    toffoli_n3,
+    vqe_n4,
+)
+from repro.sim.statevector import ideal_distribution
+
+
+class TestSuiteRegistry:
+    def test_table1_membership(self):
+        names = [s.name for s in benchmark_suite()]
+        assert names == [
+            "tele_n2",
+            "lin_sol_n3",
+            "toff_n3",
+            "GHZ_n4",
+            "VQE_n4",
+            "BV_n4",
+            "QEC_n4",
+            "QAOA_n5",
+        ]
+
+    def test_extras_include_ghz5(self):
+        names = [s.name for s in benchmark_suite(include_extras=True)]
+        assert "GHZ_n5" in names
+
+    def test_specs_consistent(self):
+        for spec in benchmark_suite(include_extras=True):
+            circuit = spec.build()
+            assert circuit.num_qubits == spec.qubits
+            assert circuit.cnot_count() == spec.logical_cnots
+            assert circuit.has_measurements
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("ghz_N4").name == "GHZ_n4"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ReproError, match="unknown benchmark"):
+            get_benchmark("shor_n2048")
+
+    def test_width_mismatch_detected(self):
+        bad = BenchmarkSpec("bad", "broken", 3, 1, lambda: ghz(2))
+        with pytest.raises(ReproError):
+            bad.build()
+
+
+class TestSemantics:
+    def test_ghz_distribution(self):
+        dist = ideal_distribution(ghz_n4())
+        assert dist == {
+            "0000": pytest.approx(0.5),
+            "1111": pytest.approx(0.5),
+        }
+
+    def test_ghz5_has_81_sequence_space(self):
+        assert ghz_n5().cnot_count() == 4
+
+    def test_teleport_transfers_state(self):
+        theta = math.pi / 3
+        dist = ideal_distribution(teleport_n2(theta))
+        # Receiver (bit 1) carries the state; sender returns to |0>.
+        assert dist["00"] == pytest.approx(math.cos(theta / 2) ** 2)
+        assert dist["01"] == pytest.approx(math.sin(theta / 2) ** 2)
+
+    def test_toffoli_flips_target(self):
+        dist = ideal_distribution(toffoli_n3())
+        assert dist == {"111": pytest.approx(1.0)}
+
+    def test_bv_recovers_secret(self):
+        for secret in ("101", "111", "010"):
+            dist = ideal_distribution(bernstein_vazirani(secret))
+            assert dist[secret] == pytest.approx(1.0)
+
+    def test_bv_rejects_bad_secret(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani("21")
+        with pytest.raises(ValueError):
+            bernstein_vazirani("")
+
+    def test_qec_syndromes_silent_without_errors(self):
+        dist = ideal_distribution(qec_n4())
+        # Qubits 2 (bit-flip) and 3 (phase-flip syndrome) must read 0.
+        for key, prob in dist.items():
+            if prob > 1e-9:
+                assert key[2] == "0"
+                assert key[3] == "0"
+
+    def test_qaoa_structure(self):
+        circuit = qaoa_n5()
+        assert circuit.cnot_count() == 4
+        dist = ideal_distribution(circuit)
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+
+    def test_qaoa_custom_graph(self):
+        circuit = qaoa_maxcut(3, [(0, 1), (1, 2)], 0.4, 0.3)
+        assert circuit.cnot_count() == 4
+
+    def test_vqe_angle_validation(self):
+        with pytest.raises(ValueError):
+            vqe_n4(thetas=(0.1, 0.2))
+
+    def test_vqe_default_deterministic(self):
+        assert ideal_distribution(vqe_n4()) == ideal_distribution(vqe_n4())
+
+    def test_linear_solver_nontrivial_output(self):
+        dist = ideal_distribution(linear_solver_n3())
+        assert len(dist) >= 2

@@ -1,0 +1,152 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These pin the library's structural invariants on randomized inputs:
+CopyCats preserve the CNOT skeleton of arbitrary circuits, sequences
+behave like immutable per-link assignments, the full pipeline preserves
+semantics under any native gate assignment, and seeded runs are
+bit-for-bit reproducible.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.compiler.nativization import extract_cnot_sites, nativize
+from repro.core.copycat import build_copycat
+from repro.core.sequence import NativeGateSequence, enumerate_sequences
+from repro.device.native_gates import NATIVE_TWO_QUBIT_GATES
+from repro.sim.statevector import ideal_distribution
+
+SEEDS = st.integers(0, 10_000)
+
+
+def _random_program(seed, width=3, depth=10):
+    rng = np.random.default_rng(seed)
+    circuit = random_circuit(width, depth, rng)
+    circuit.measure_all()
+    return circuit
+
+
+class TestCopycatInvariants:
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_skeleton_preserved(self, seed):
+        program = _random_program(seed)
+        copycat = build_copycat(program)
+        original_sites = extract_cnot_sites(program)
+        copycat_sites = extract_cnot_sites(copycat.circuit)
+        assert [(s.control, s.target, s.origin) for s in original_sites] == [
+            (s.control, s.target, s.origin) for s in copycat_sites
+        ]
+
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_budget_zero_always_clifford(self, seed):
+        program = _random_program(seed)
+        copycat = build_copycat(program, max_non_clifford=0)
+        assert copycat.circuit.is_clifford()
+
+    @given(seed=SEEDS, budget=st.integers(0, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_retention_respects_budget(self, seed, budget):
+        program = _random_program(seed)
+        copycat = build_copycat(program, max_non_clifford=budget)
+        assert len(copycat.retained_non_clifford) <= budget
+
+    @given(seed=SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_replacement_distance_nonnegative(self, seed):
+        program = _random_program(seed)
+        copycat = build_copycat(program)
+        assert copycat.total_replacement_distance >= 0.0
+        assert copycat.ideal_distribution()  # simulable either way
+
+
+class TestSequenceInvariants:
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_mass_replacement_only_touches_link(self, seed):
+        program = _random_program(seed, width=4, depth=14)
+        sites = extract_cnot_sites(program)
+        if not sites:
+            return
+        rng = np.random.default_rng(seed)
+        sequence = NativeGateSequence.uniform(sites, "cz")
+        link = sites[int(rng.integers(len(sites)))].link
+        replaced = sequence.with_link_gate(link, "xy")
+        for site, old_gate, new_gate in zip(
+            sites, sequence.gates, replaced.gates
+        ):
+            if site.link == link:
+                assert new_gate == "xy"
+            else:
+                assert new_gate == old_gate
+
+    @given(seed=SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_enumeration_count_matches_product(self, seed):
+        program = _random_program(seed, width=3, depth=8)
+        sites = extract_cnot_sites(program)
+        if len(sites) > 5:
+            sites = sites[:5]
+        options = {s.link: NATIVE_TWO_QUBIT_GATES for s in sites}
+        count = sum(
+            1 for _ in enumerate_sequences(sites, options, "site")
+        )
+        assert count == 3 ** len(sites)
+
+
+class TestPipelineSemantics:
+    @given(seed=SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_nativization_distribution_invariant(self, seed):
+        program = _random_program(seed)
+        sites = extract_cnot_sites(program)
+        rng = np.random.default_rng(seed + 1)
+        assignment = {
+            s.index: NATIVE_TWO_QUBIT_GATES[int(rng.integers(3))]
+            for s in sites
+        }
+        native = nativize(program, assignment)
+        ideal = ideal_distribution(program)
+        nativized = ideal_distribution(native)
+        for key in set(ideal) | set(nativized):
+            assert ideal.get(key, 0.0) == pytest.approx(
+                nativized.get(key, 0.0), abs=1e-8
+            )
+
+
+class TestDeterminism:
+    def test_full_stack_reproducible(self):
+        from repro.experiments import ExperimentContext, run_experiment
+
+        def run_once():
+            ctx = ExperimentContext.create(seed=77, drift_hours=6.0)
+            result = run_experiment(
+                "fig18",
+                context=ctx,
+                benchmarks=("GHZ_n4",),
+                final_shots=256,
+                probe_shots=128,
+                runtime_best_shots=64,
+            )
+            return result.rows
+
+        assert run_once() == run_once()
+
+    def test_device_trajectory_reproducible(self):
+        from repro.device import small_test_device
+
+        def trajectory():
+            device = small_test_device(3, seed=5)
+            values = []
+            for _ in range(5):
+                device.advance_time(3.6e9)
+                values.append(device.true_pulse_fidelity((0, 1), "cz"))
+            return values
+
+        assert trajectory() == trajectory()

@@ -1,0 +1,105 @@
+"""Tests for OpenQASM 2 serialization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, from_qasm, random_circuit, to_qasm
+from repro.exceptions import QasmError
+from repro.linalg import unitaries_equal_up_to_phase
+from repro.programs import benchmark_suite
+
+
+class TestExport:
+    def test_header_and_registers(self):
+        text = to_qasm(QuantumCircuit(3).h(0).measure(0))
+        assert text.startswith('OPENQASM 2.0;\ninclude "qelib1.inc";')
+        assert "qreg q[3];" in text
+        assert "creg c[1];" in text
+
+    def test_gate_spellings(self):
+        qc = QuantumCircuit(2).cnot(0, 1).phase(0.5, 0)
+        text = to_qasm(qc)
+        assert "cx q[0],q[1];" in text
+        assert "u1(0.5) q[0];" in text
+
+    def test_pi_fractions_pretty(self):
+        text = to_qasm(QuantumCircuit(1).rz(math.pi / 2, 0))
+        assert "rz(pi/2)" in text
+        text = to_qasm(QuantumCircuit(1).rz(-math.pi, 0))
+        assert "rz(-pi)" in text
+
+    def test_measure_mapping(self):
+        qc = QuantumCircuit(3).measure(2).measure(0)
+        text = to_qasm(qc)
+        assert "measure q[2] -> c[0];" in text
+        assert "measure q[0] -> c[1];" in text
+
+    def test_barrier(self):
+        qc = QuantumCircuit(1).h(0)
+        qc.barrier()
+        assert "barrier q;" in to_qasm(qc)
+
+
+class TestImport:
+    def test_minimal_program(self):
+        qc = from_qasm(
+            'OPENQASM 2.0; include "qelib1.inc"; qreg q[2]; '
+            "h q[0]; cx q[0],q[1];"
+        )
+        assert qc.num_qubits == 2
+        assert [g.name for g in qc] == ["h", "cnot"]
+
+    def test_angle_expressions(self):
+        qc = from_qasm("qreg q[1]; rz(pi/4) q[0]; rx(-pi/2) q[0]; ry(0.25) q[0];")
+        assert qc[0].params[0] == pytest.approx(math.pi / 4)
+        assert qc[1].params[0] == pytest.approx(-math.pi / 2)
+        assert qc[2].params[0] == pytest.approx(0.25)
+
+    def test_aliases(self):
+        qc = from_qasm("qreg q[2]; u1(0.3) q[0]; cp(pi) q[0],q[1]; u(0.1,0.2,0.3) q[0];")
+        assert [g.name for g in qc] == ["phase", "cphase", "u3"]
+
+    def test_comments_ignored(self):
+        qc = from_qasm("qreg q[1]; // register\nx q[0]; // flip")
+        assert len(qc) == 1
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("h q[0];")
+
+    def test_double_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[1]; qreg r[1];")
+
+    def test_bad_statement_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[1]; entangle everything;")
+
+    def test_malicious_angle_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[1]; rz(__import__) q[0];")
+
+
+class TestRoundTrip:
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_random_circuit_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(3, 12, rng)
+        restored = from_qasm(to_qasm(qc))
+        assert unitaries_equal_up_to_phase(qc.unitary(), restored.unitary())
+
+    def test_suite_roundtrip(self):
+        for spec in benchmark_suite():
+            qc = spec.build()
+            restored = from_qasm(to_qasm(qc))
+            assert restored.num_qubits == qc.num_qubits
+            assert restored.measured_qubits() == qc.measured_qubits()
+            stripped = qc.without_measurements()
+            assert unitaries_equal_up_to_phase(
+                stripped.unitary(), restored.without_measurements().unitary()
+            )

@@ -1,0 +1,71 @@
+"""Tests for the random circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.random_circuits import (
+    random_circuit,
+    random_clifford_circuit,
+    random_parameterized_layer,
+)
+
+
+class TestRandomClifford:
+    def test_only_clifford_gates(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            circuit = random_clifford_circuit(4, 25, rng)
+            assert circuit.is_clifford()
+
+    def test_depth_matches_instruction_count(self):
+        rng = np.random.default_rng(1)
+        circuit = random_clifford_circuit(3, 17, rng)
+        assert len(circuit) == 17
+
+    def test_two_qubit_probability_extremes(self):
+        rng = np.random.default_rng(2)
+        none_2q = random_clifford_circuit(3, 30, rng, two_qubit_probability=0.0)
+        assert none_2q.num_two_qubit_gates() == 0
+        all_2q = random_clifford_circuit(3, 30, rng, two_qubit_probability=1.0)
+        assert all_2q.num_two_qubit_gates() == 30
+
+    def test_single_qubit_register_never_draws_2q(self):
+        rng = np.random.default_rng(3)
+        circuit = random_clifford_circuit(1, 20, rng, two_qubit_probability=0.9)
+        assert circuit.num_two_qubit_gates() == 0
+
+    def test_seeded_reproducibility(self):
+        a = random_clifford_circuit(3, 12, np.random.default_rng(7))
+        b = random_clifford_circuit(3, 12, np.random.default_rng(7))
+        assert a == b
+
+
+class TestRandomCircuit:
+    def test_parametric_gates_have_angles(self):
+        rng = np.random.default_rng(4)
+        circuit = random_circuit(3, 40, rng)
+        for gate in circuit.gates():
+            if gate.name in ("rx", "ry", "rz", "phase"):
+                assert -np.pi <= gate.params[0] <= np.pi
+
+    def test_vocabulary(self):
+        rng = np.random.default_rng(5)
+        circuit = random_circuit(4, 60, rng)
+        allowed = {
+            "x", "y", "z", "h", "s", "t", "tdg", "rx", "ry", "rz",
+            "cnot", "cz", "swap", "iswap",
+        }
+        assert {g.name for g in circuit} <= allowed
+
+
+class TestParameterizedLayer:
+    def test_one_u3_per_qubit(self):
+        rng = np.random.default_rng(6)
+        layer = random_parameterized_layer(4, rng)
+        assert len(layer) == 4
+        assert all(g.name == "u3" for g in layer)
+
+    def test_qubit_subset(self):
+        rng = np.random.default_rng(7)
+        layer = random_parameterized_layer(5, rng, qubits=(1, 3))
+        assert [g.qubits[0] for g in layer] == [1, 3]

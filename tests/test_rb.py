@@ -1,0 +1,97 @@
+"""Tests for standard and interleaved randomized benchmarking."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    NOISELESS_PROFILE,
+    build_device,
+    interleaved_rb_fidelity,
+    small_test_device,
+    standard_rb,
+)
+from repro.device.calibration import CalibrationService
+from repro.device.rb import _rb_circuit
+from repro.device.topology import linear_topology
+from repro.sim.statevector import ideal_distribution
+
+
+class TestRbCircuits:
+    def test_sequence_inverts_to_identity(self):
+        # Noise-free, any RB sequence must return |00> deterministically.
+        rng = np.random.default_rng(0)
+        for depth in (1, 3, 6):
+            circuit = _rb_circuit((0, 1), depth, rng, None, "cz")
+            compact, _ = circuit.compacted()
+            dist = ideal_distribution(compact)
+            assert dist["00"] == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("gate", ["cz", "xy", "cphase"])
+    def test_interleaved_sequence_inverts(self, gate):
+        rng = np.random.default_rng(1)
+        circuit = _rb_circuit((0, 1), 4, rng, gate, "cz")
+        compact, _ = circuit.compacted()
+        dist = ideal_distribution(compact)
+        assert dist["00"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_circuit_is_native(self):
+        from repro.device.native_gates import RIGETTI_NATIVE_GATES
+
+        rng = np.random.default_rng(2)
+        circuit = _rb_circuit((0, 1), 3, rng, "xy", "cz")
+        for gate in circuit:
+            assert RIGETTI_NATIVE_GATES.is_native(gate), gate
+
+
+class TestStandardRb:
+    def test_noiseless_alpha_is_one(self):
+        device = build_device(
+            linear_topology(2), seed=0, profile=NOISELESS_PROFILE
+        )
+        result = standard_rb(
+            device, (0, 1), depths=(1, 2, 4), shots=200,
+            sequences_per_depth=2, rng=np.random.default_rng(0),
+        )
+        assert result.alpha == pytest.approx(1.0, abs=0.02)
+        assert result.clifford_fidelity == pytest.approx(1.0, abs=0.02)
+
+    def test_noisy_decay(self):
+        device = small_test_device(2, seed=33)
+        result = standard_rb(
+            device, (0, 1), depths=(1, 2, 4, 8), shots=300,
+            sequences_per_depth=2, rng=np.random.default_rng(0),
+        )
+        assert 0.3 < result.alpha < 1.0
+        # Survival decreases with depth (allow shot-noise wiggle).
+        assert result.survivals[0] > result.survivals[-1] - 0.05
+
+
+class TestInterleavedRb:
+    def test_noiseless_fidelity_is_one(self):
+        device = build_device(
+            linear_topology(2), seed=0, profile=NOISELESS_PROFILE
+        )
+        fidelity = interleaved_rb_fidelity(
+            device, (0, 1), "cz", depths=(1, 2, 4), shots=200,
+            sequences_per_depth=2, rng=np.random.default_rng(0),
+        )
+        assert fidelity == pytest.approx(1.0, abs=0.02)
+
+    def test_noisy_estimate_in_plausible_band(self):
+        device = small_test_device(2, seed=34)
+        truth = device.true_pulse_fidelity((0, 1), "cz")
+        estimate = interleaved_rb_fidelity(
+            device, (0, 1), "cz", depths=(1, 2, 4, 8), shots=400,
+            sequences_per_depth=3, rng=np.random.default_rng(5),
+        )
+        # IRB is a noisy estimator; it should land in the right band.
+        assert estimate == pytest.approx(truth, abs=0.08)
+
+    def test_irb_calibration_mode(self):
+        device = small_test_device(2, seed=35)
+        service = CalibrationService(
+            device, mode="irb", mirror_shots=150, seed=0
+        )
+        count = service.calibrate_gate("cz")
+        assert count == 1
+        assert 0.25 <= service.data.two_qubit_fidelity((0, 1), "cz") <= 1.0

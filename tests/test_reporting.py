@@ -1,0 +1,78 @@
+"""Tests for experiment result rendering."""
+
+from repro.experiments.reporting import ExperimentResult, ascii_bars, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("name", "x"), [("a", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        # All rows same width.
+        assert len({len(l) for l in lines}) <= 2
+
+    def test_float_formatting(self):
+        text = format_table(("v",), [(0.123456789,)])
+        assert "0.1235" in text
+
+
+class TestAsciiBars:
+    def test_bars_scale(self):
+        text = ascii_bars(["a", "b"], [1.0, 0.5], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert ascii_bars([], []) == "(empty)"
+
+    def test_max_value_override(self):
+        text = ascii_bars(["a"], [0.5], width=10, max_value=1.0)
+        assert text.count("#") == 5
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="A test",
+            columns=("k", "v"),
+            rows=[("alpha", 1.0)],
+            series={"s": [0.1, 0.2]},
+            notes=["note one"],
+            summary="Everything worked.",
+        )
+
+    def test_to_text_contains_everything(self):
+        text = self._result().to_text()
+        assert "figX" in text
+        assert "Everything worked." in text
+        assert "alpha" in text
+        assert "series: s" in text
+        assert "note: note one" in text
+
+    def test_str_is_to_text(self):
+        result = self._result()
+        assert str(result) == result.to_text()
+
+    def test_long_series_truncated_in_preview(self):
+        result = ExperimentResult(
+            "figY", "t", ("a",), [], series={"big": [0.0] * 50}
+        )
+        assert "..." in result.to_text()
+
+    def test_json_roundtrip(self):
+        result = self._result()
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.experiment_id == result.experiment_id
+        assert restored.rows == result.rows
+        assert restored.series == result.series
+        assert restored.notes == result.notes
+        assert restored.summary == result.summary
+
+    def test_save_and_load(self, tmp_path):
+        result = self._result()
+        path = result.save(tmp_path / "figX.json")
+        restored = ExperimentResult.load(path)
+        assert restored.rows == result.rows

@@ -1,0 +1,100 @@
+"""Tests for SWAP routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.compiler.mapping import Layout, trivial_layout
+from repro.compiler.routing import route_circuit
+from repro.device.topology import Topology, linear_topology
+from repro.exceptions import CompilationError
+from repro.sim.statevector import ideal_distribution
+
+
+def _routed_equivalent(circuit, topology, layout):
+    """Route and check the routed circuit produces the same distribution."""
+    routed = route_circuit(circuit, topology, layout)
+    compact, _ = routed.circuit.compacted()
+    return ideal_distribution(circuit), ideal_distribution(compact), routed
+
+
+class TestBasicRouting:
+    def test_adjacent_gates_untouched(self):
+        topo = linear_topology(3)
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        routed = route_circuit(qc, topo, Layout((0, 1)))
+        assert routed.swap_count == 0
+        assert routed.circuit.count_ops().get("swap", 0) == 0
+
+    def test_distant_cnot_gets_swaps(self):
+        topo = linear_topology(4)
+        qc = QuantumCircuit(3).cnot(0, 2)
+        routed = route_circuit(qc, topo, Layout((0, 1, 2)))
+        assert routed.swap_count == 1
+        pairs = routed.circuit.two_qubit_pairs()
+        for pair in pairs:
+            assert topo.has_link(*pair)
+
+    def test_final_mapping_tracks_swaps(self):
+        topo = linear_topology(4)
+        qc = QuantumCircuit(3).cnot(0, 2)
+        routed = route_circuit(qc, topo, Layout((0, 1, 2)))
+        # Logical 0 was swapped toward 2.
+        assert routed.final_physical[0] == 1
+        assert routed.final_physical[1] == 0
+
+    def test_measurements_in_logical_order(self):
+        topo = linear_topology(4)
+        qc = QuantumCircuit(3).cnot(0, 2).measure(2).measure(0)
+        routed = route_circuit(qc, topo, Layout((0, 1, 2)))
+        measured = routed.circuit.measured_qubits()
+        # Logical 2 first, then logical 0 (at its post-swap location).
+        assert measured == (
+            routed.final_physical[2],
+            routed.final_physical[0],
+        )
+
+    def test_all_measured_when_program_has_no_measurements(self):
+        topo = linear_topology(3)
+        qc = QuantumCircuit(2).h(0)
+        routed = route_circuit(qc, topo, Layout((0, 1)))
+        assert len(routed.circuit.measured_qubits()) == 2
+
+    def test_unroutable_raises(self):
+        topo = Topology("split", (0, 1, 2, 3), ((0, 1), (2, 3)))
+        qc = QuantumCircuit(3).cnot(0, 2)
+        with pytest.raises(CompilationError):
+            route_circuit(qc, topo, Layout((0, 1, 2)))
+
+    def test_narrow_layout_rejected(self):
+        topo = linear_topology(3)
+        with pytest.raises(CompilationError):
+            route_circuit(QuantumCircuit(3), topo, Layout((0, 1)))
+
+
+class TestSemanticPreservation:
+    @given(seed=st.integers(0, 400))
+    @settings(max_examples=20, deadline=None)
+    def test_routing_preserves_distribution(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(4, 10, rng)
+        topo = linear_topology(6)
+        layout = trivial_layout(qc, topo)
+        ideal, routed_dist, _ = _routed_equivalent(qc, topo, layout)
+        keys = set(ideal) | set(routed_dist)
+        for key in keys:
+            assert ideal.get(key, 0.0) == pytest.approx(
+                routed_dist.get(key, 0.0), abs=1e-9
+            )
+
+    def test_routing_with_nontrivial_initial_layout(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).cnot(1, 2)
+        topo = linear_topology(5)
+        layout = Layout((4, 3, 2))
+        ideal, routed_dist, _ = _routed_equivalent(qc, topo, layout)
+        for key in set(ideal) | set(routed_dist):
+            assert ideal.get(key, 0.0) == pytest.approx(
+                routed_dist.get(key, 0.0), abs=1e-9
+            )

@@ -1,0 +1,61 @@
+"""Tests for ASAP scheduling and timing reports."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compiler.scheduling import asap_schedule, schedule_report
+from repro.sim.statevector import ideal_distribution
+
+
+class TestAsapSchedule:
+    def test_reorders_into_moment_order(self):
+        # x(1) can run in moment 0 alongside h(0); ASAP pulls it forward.
+        qc = QuantumCircuit(2).h(0).cnot(0, 1).x(1)
+        # Rebuild with x(1) last but logically first-movable:
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        qc.x(1)
+        scheduled = asap_schedule(qc)
+        assert [g.name for g in scheduled] == ["h", "cnot", "x"]
+
+    def test_pulls_independent_gate_forward(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        qc2 = QuantumCircuit(2)
+        qc2.h(0)
+        qc2.cnot(0, 1)
+        qc2.x(1)
+        # Construct a circuit where a later instruction belongs to
+        # moment 0 (acts on an untouched qubit).
+        qc3 = QuantumCircuit(3).h(0).cnot(0, 1).x(2)
+        scheduled = asap_schedule(qc3)
+        names = [g.name for g in scheduled]
+        assert names.index("x") < names.index("cnot")
+
+    def test_semantics_preserved(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).x(2).cnot(1, 2).measure_all()
+        assert ideal_distribution(asap_schedule(qc)) == pytest.approx(
+            ideal_distribution(qc)
+        )
+
+    def test_name_preserved(self):
+        qc = QuantumCircuit(1, name="prog").h(0)
+        assert asap_schedule(qc).name == "prog"
+
+
+class TestScheduleReport:
+    def test_moment_count(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1).x(1)
+        report = schedule_report(qc)
+        assert report.num_moments == 3
+        assert report.gates_per_moment == (1, 1, 1)
+
+    def test_busy_and_idle(self):
+        qc = QuantumCircuit(2).h(0).x(0).z(0)
+        report = schedule_report(qc)
+        assert report.busy_moments_per_qubit[0] == 3
+        assert report.idle_fraction(1) == 1.0
+        assert report.idle_fraction(0) == 0.0
+
+    def test_empty_circuit(self):
+        report = schedule_report(QuantumCircuit(1))
+        assert report.num_moments == 0
+        assert report.idle_fraction(0) == 0.0

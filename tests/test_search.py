@@ -1,0 +1,151 @@
+"""Tests for the localized search with synthetic probe objectives."""
+
+import pytest
+
+from repro.compiler.nativization import CnotSite
+from repro.core.search import localized_search
+from repro.core.sequence import NativeGateSequence
+from repro.exceptions import SearchError
+
+
+def _sites():
+    return (
+        CnotSite(0, 0, 1),
+        CnotSite(1, 1, 2),
+        CnotSite(2, 0, 1),
+    )
+
+
+OPTIONS = {
+    (0, 1): ("xy", "cz", "cphase"),
+    (1, 2): ("xy", "cz", "cphase"),
+}
+
+
+def _scoring(per_link_scores):
+    """A deterministic probe: sum of per-(link, gate) values."""
+
+    def probe(sequence):
+        total = 0.0
+        for link in sequence.links_used():
+            gate = sequence.gates_on_link(link)[0]
+            total += per_link_scores[(link, gate)]
+        return total
+
+    return probe
+
+
+class TestSearchBehaviour:
+    def test_finds_separable_optimum(self):
+        scores = {
+            ((0, 1), "xy"): 0.1,
+            ((0, 1), "cz"): 0.5,
+            ((0, 1), "cphase"): 0.3,
+            ((1, 2), "xy"): 0.4,
+            ((1, 2), "cz"): 0.1,
+            ((1, 2), "cphase"): 0.2,
+        }
+        initial = NativeGateSequence.uniform(_sites(), "cphase")
+        best, trace = localized_search(
+            _scoring(scores), initial, OPTIONS
+        )
+        assert best.gates_on_link((0, 1))[0] == "cz"
+        assert best.gates_on_link((1, 2))[0] == "xy"
+
+    def test_probe_budget_is_one_plus_two_per_link(self):
+        scores = {
+            (link, gate): 0.5 for link in OPTIONS for gate in OPTIONS[link]
+        }
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        _, trace = localized_search(_scoring(scores), initial, OPTIONS)
+        # 1 reference + 2 links x 2 alternatives = 5 (Table II's 1+2L).
+        assert trace.num_probes == 5
+
+    def test_reference_retained_when_best(self):
+        scores = {
+            (link, gate): (0.9 if gate == "cz" else 0.1)
+            for link in OPTIONS
+            for gate in OPTIONS[link]
+        }
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        best, trace = localized_search(_scoring(scores), initial, OPTIONS)
+        assert best.gates == initial.gates
+        assert trace.num_updates == 0
+
+    def test_continuous_update_reflected_in_history(self):
+        scores = {
+            ((0, 1), "xy"): 0.9,
+            ((0, 1), "cz"): 0.1,
+            ((0, 1), "cphase"): 0.2,
+            ((1, 2), "xy"): 0.5,
+            ((1, 2), "cz"): 0.1,
+            ((1, 2), "cphase"): 0.9,
+        }
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        best, trace = localized_search(_scoring(scores), initial, OPTIONS)
+        # Two improvements: link (0,1) -> xy, then link (1,2) -> cphase.
+        assert trace.num_updates == 2
+        assert len(trace.reference_history) == 3
+        assert best.gates_on_link((0, 1))[0] == "xy"
+        assert best.gates_on_link((1, 2))[0] == "cphase"
+
+    def test_mass_replacement_ties_sites_on_same_link(self):
+        scores = {
+            (link, gate): 0.3 for link in OPTIONS for gate in OPTIONS[link]
+        }
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        seen = []
+
+        def probe(sequence):
+            seen.append(sequence)
+            return 0.0
+
+        localized_search(probe, initial, OPTIONS)
+        for sequence in seen:
+            # Sites 0 and 2 share link (0,1): always identical gates.
+            assert sequence.gates[0] == sequence.gates[2]
+
+    def test_custom_link_order(self):
+        order_seen = []
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+
+        def probe(sequence):
+            order_seen.append(sequence.gates)
+            return 0.0
+
+        localized_search(
+            probe, initial, OPTIONS, link_order=[(1, 2), (0, 1)]
+        )
+        # After the reference, the first candidates touch link (1, 2).
+        assert order_seen[1][1] != "cz"
+        assert order_seen[1][0] == "cz"
+
+    def test_best_probe_recorded(self):
+        scores = {
+            (link, gate): (0.8 if gate == "xy" else 0.2)
+            for link in OPTIONS
+            for gate in OPTIONS[link]
+        }
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        _, trace = localized_search(_scoring(scores), initial, OPTIONS)
+        assert trace.best().success_rate == pytest.approx(1.6)
+
+
+class TestSearchValidation:
+    def test_non_uniform_initial_rejected(self):
+        mixed = NativeGateSequence(_sites(), ("xy", "cz", "cz"))
+        with pytest.raises(SearchError, match="one gate per link"):
+            localized_search(lambda s: 0.0, mixed, OPTIONS)
+
+    def test_foreign_link_in_order_rejected(self):
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        with pytest.raises(SearchError):
+            localized_search(
+                lambda s: 0.0, initial, OPTIONS, link_order=[(5, 6)]
+            )
+
+    def test_empty_trace_best_raises(self):
+        from repro.core.search import SearchTrace
+
+        with pytest.raises(SearchError):
+            SearchTrace().best()

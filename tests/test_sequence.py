@@ -1,0 +1,126 @@
+"""Tests for NativeGateSequence and sequence enumeration."""
+
+import pytest
+
+from repro.compiler.nativization import CnotSite
+from repro.core.sequence import NativeGateSequence, enumerate_sequences
+from repro.exceptions import SearchError
+
+
+def _sites():
+    """Four sites on three links; link (0,1) used twice (as in Fig. 14)."""
+    return (
+        CnotSite(0, 0, 1),
+        CnotSite(1, 1, 2),
+        CnotSite(2, 2, 3),
+        CnotSite(3, 0, 1),
+    )
+
+
+OPTIONS = {
+    (0, 1): ("xy", "cz", "cphase"),
+    (1, 2): ("xy", "cz", "cphase"),
+    (2, 3): ("xy", "cz", "cphase"),
+}
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SearchError):
+            NativeGateSequence(_sites(), ("cz",))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(SearchError):
+            NativeGateSequence(_sites(), ("cz", "cz", "cz", "cr"))
+
+    def test_uniform(self):
+        seq = NativeGateSequence.uniform(_sites(), "cz")
+        assert seq.gates == ("cz", "cz", "cz", "cz")
+
+    def test_from_link_gates(self):
+        seq = NativeGateSequence.from_link_gates(
+            _sites(), {(0, 1): "xy", (1, 2): "cz", (2, 3): "cphase"}
+        )
+        assert seq.gates == ("xy", "cz", "cphase", "xy")
+
+    def test_from_link_gates_missing_link(self):
+        with pytest.raises(SearchError):
+            NativeGateSequence.from_link_gates(_sites(), {(0, 1): "xy"})
+
+
+class TestQueries:
+    def test_links_used_program_order(self):
+        seq = NativeGateSequence.uniform(_sites(), "cz")
+        assert seq.links_used() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_gates_on_link(self):
+        seq = NativeGateSequence(_sites(), ("xy", "cz", "cz", "xy"))
+        assert seq.gates_on_link((0, 1)) == ["xy", "xy"]
+
+    def test_link_uniform_detection(self):
+        uniform = NativeGateSequence(_sites(), ("xy", "cz", "cz", "xy"))
+        assert uniform.is_link_uniform()
+        mixed = NativeGateSequence(_sites(), ("xy", "cz", "cz", "cz"))
+        assert not mixed.is_link_uniform()
+
+    def test_label(self):
+        seq = NativeGateSequence.uniform(_sites()[:2], "cz")
+        assert seq.label() == "[CZ, CZ]"
+
+
+class TestReplacement:
+    def test_mass_replacement_hits_all_sites_on_link(self):
+        seq = NativeGateSequence.uniform(_sites(), "cz")
+        replaced = seq.with_link_gate((0, 1), "xy")
+        assert replaced.gates == ("xy", "cz", "cz", "xy")
+        # Original untouched (immutability).
+        assert seq.gates == ("cz", "cz", "cz", "cz")
+
+    def test_mass_replacement_unknown_link(self):
+        seq = NativeGateSequence.uniform(_sites(), "cz")
+        with pytest.raises(SearchError):
+            seq.with_link_gate((5, 6), "xy")
+
+    def test_site_replacement(self):
+        seq = NativeGateSequence.uniform(_sites(), "cz")
+        replaced = seq.with_site_gate(2, "cphase")
+        assert replaced.gates == ("cz", "cz", "cphase", "cz")
+
+    def test_site_replacement_out_of_range(self):
+        seq = NativeGateSequence.uniform(_sites(), "cz")
+        with pytest.raises(SearchError):
+            seq.with_site_gate(9, "cz")
+
+    def test_as_site_map(self):
+        seq = NativeGateSequence(_sites(), ("xy", "cz", "cphase", "xy"))
+        assert seq.as_site_map() == {0: "xy", 1: "cz", 2: "cphase", 3: "xy"}
+
+
+class TestEnumeration:
+    def test_site_granularity_count(self):
+        # 4 sites x 3 gates each = 81 (the paper's 3^N).
+        sequences = list(enumerate_sequences(_sites(), OPTIONS, "site"))
+        assert len(sequences) == 81
+        assert len({s.gates for s in sequences}) == 81
+
+    def test_link_granularity_count(self):
+        # 3 links x 3 gates = 27 (the toff_n3 reduction).
+        sequences = list(enumerate_sequences(_sites(), OPTIONS, "link"))
+        assert len(sequences) == 27
+        assert all(s.is_link_uniform() for s in sequences)
+
+    def test_restricted_options(self):
+        options = dict(OPTIONS)
+        options[(1, 2)] = ("cz",)
+        sequences = list(enumerate_sequences(_sites(), options, "link"))
+        assert len(sequences) == 9
+
+    def test_unknown_granularity(self):
+        with pytest.raises(SearchError):
+            list(enumerate_sequences(_sites(), OPTIONS, "global"))
+
+    def test_empty_options_rejected(self):
+        options = dict(OPTIONS)
+        options[(1, 2)] = ()
+        with pytest.raises(SearchError):
+            list(enumerate_sequences(_sites(), options))

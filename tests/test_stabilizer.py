@@ -1,0 +1,141 @@
+"""Tests for the CHP stabilizer simulator, cross-validated against the
+state-vector simulator on random Clifford circuits."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, random_clifford_circuit
+from repro.exceptions import SimulationError
+from repro.sim.stabilizer import StabilizerSimulator, StabilizerTableau
+from repro.sim.statevector import ideal_distribution
+
+
+def _dist_close(a, b, atol=1e-9):
+    keys = set(a) | set(b)
+    return all(abs(a.get(k, 0.0) - b.get(k, 0.0)) < atol for k in keys)
+
+
+class TestTableauBasics:
+    def test_initial_measurement_deterministic_zero(self):
+        tableau = StabilizerTableau(3)
+        for qubit in range(3):
+            assert not tableau.measurement_is_random(qubit)
+            assert tableau.measure(qubit) == 0
+
+    def test_x_flips_outcome(self):
+        tableau = StabilizerTableau(1)
+        tableau.apply_x(0)
+        assert tableau.measure(0) == 1
+
+    def test_h_makes_outcome_random(self):
+        tableau = StabilizerTableau(1)
+        tableau.apply_h(0)
+        assert tableau.measurement_is_random(0)
+
+    def test_random_measurement_requires_rng(self):
+        tableau = StabilizerTableau(1)
+        tableau.apply_h(0)
+        with pytest.raises(SimulationError):
+            tableau.measure(0)
+
+    def test_forced_outcome_collapses(self):
+        tableau = StabilizerTableau(1)
+        tableau.apply_h(0)
+        assert tableau.measure(0, forced_outcome=1) == 1
+        # Post-measurement the qubit is definite.
+        assert not tableau.measurement_is_random(0)
+        assert tableau.measure(0, forced_outcome=0) == 1
+
+    def test_bell_correlation(self):
+        tableau = StabilizerTableau(2)
+        tableau.apply_h(0)
+        tableau.apply_cnot(0, 1)
+        first = tableau.measure(0, forced_outcome=1)
+        second = tableau.measure(1)
+        assert first == second == 1
+
+    def test_copy_independent(self):
+        tableau = StabilizerTableau(1)
+        clone = tableau.copy()
+        clone.apply_x(0)
+        assert tableau.measure(0) == 0
+        assert clone.measure(0) == 1
+
+
+class TestDistribution:
+    def test_ghz_distribution(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).cnot(1, 2)
+        dist = StabilizerSimulator().distribution(qc)
+        assert dist == {"000": pytest.approx(0.5), "111": pytest.approx(0.5)}
+
+    def test_clifford_rotation_angles(self):
+        qc = QuantumCircuit(1).rx(math.pi, 0)
+        dist = StabilizerSimulator().distribution(qc)
+        assert dist == {"1": pytest.approx(1.0)}
+
+    def test_xy_pi_supported(self):
+        qc = QuantumCircuit(2).x(0).xy(math.pi, 0, 1)
+        dist = StabilizerSimulator().distribution(qc)
+        assert dist == {"01": pytest.approx(1.0)}
+
+    def test_cphase_pi_supported(self):
+        qc = QuantumCircuit(2).h(0).h(1).cphase(math.pi, 0, 1).h(1)
+        # Equivalent to h(0); cnot(0,1); h-basis -> Bell
+        sv = ideal_distribution(qc)
+        st_dist = StabilizerSimulator().distribution(qc)
+        assert _dist_close(sv, st_dist, atol=1e-9)
+
+    def test_non_clifford_rejected(self):
+        qc = QuantumCircuit(1).t(0)
+        with pytest.raises(SimulationError):
+            StabilizerSimulator().distribution(qc)
+
+    def test_non_clifford_xy_angle_rejected(self):
+        qc = QuantumCircuit(2).xy(math.pi / 2, 0, 1)
+        with pytest.raises(SimulationError):
+            StabilizerSimulator().distribution(qc)
+
+    def test_u3_rejected_with_hint(self):
+        qc = QuantumCircuit(1).u3(0.1, 0.2, 0.3, 0)
+        with pytest.raises(SimulationError, match="CopyCat"):
+            StabilizerSimulator().distribution(qc)
+
+    def test_measured_subset(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1).measure(1)
+        dist = StabilizerSimulator().distribution(qc)
+        assert dist == {"0": pytest.approx(0.5), "1": pytest.approx(0.5)}
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_statevector_on_random_clifford(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_clifford_circuit(4, 20, rng)
+        sv = ideal_distribution(qc)
+        tab = StabilizerSimulator().distribution(qc)
+        assert _dist_close(sv, tab, atol=1e-7)
+
+    def test_scales_beyond_statevector(self):
+        # 60-qubit GHZ: trivially out of statevector range, fine here.
+        qc = QuantumCircuit(60).h(0)
+        for i in range(59):
+            qc.cnot(i, i + 1)
+        dist = StabilizerSimulator().distribution(qc)
+        assert dist["0" * 60] == pytest.approx(0.5)
+        assert dist["1" * 60] == pytest.approx(0.5)
+
+
+class TestSampling:
+    def test_sample_counts_total(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        counts = StabilizerSimulator().sample(qc, 500, np.random.default_rng(3))
+        assert sum(counts.values()) == 500
+        assert set(counts) <= {"00", "11"}
+
+    def test_run_returns_measurement_outcomes(self):
+        qc = QuantumCircuit(2).x(0).measure(0).measure(1)
+        _, outcomes = StabilizerSimulator().run(qc, np.random.default_rng(0))
+        assert outcomes == {0: 1, 1: 0}

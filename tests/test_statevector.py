@@ -1,0 +1,98 @@
+"""Tests for the state-vector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.exceptions import SimulationError
+from repro.sim.statevector import StatevectorSimulator, StateVector, ideal_distribution
+
+
+class TestStateVector:
+    def test_initial_state(self):
+        state = StateVector(2)
+        assert state.amplitudes[0] == pytest.approx(1.0)
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_from_amplitudes_validates_length(self):
+        with pytest.raises(SimulationError):
+            StateVector.from_amplitudes(np.ones(3))
+
+    def test_width_limits(self):
+        with pytest.raises(SimulationError):
+            StateVector(0)
+        with pytest.raises(SimulationError):
+            StateVector(25)
+
+    def test_apply_x(self):
+        state = StateVector(2)
+        state.apply_matrix(np.array([[0, 1], [1, 0]]), (0,))
+        assert abs(state.amplitudes[0b10]) == pytest.approx(1.0)
+
+    def test_probabilities_marginal_order(self):
+        # Prepare |10>, ask for qubits in order (1, 0).
+        qc = QuantumCircuit(2).x(0)
+        state = StatevectorSimulator().run(qc)
+        probs = state.probabilities((1, 0))
+        assert probs[0b01] == pytest.approx(1.0)
+
+    def test_sampling_deterministic_state(self):
+        qc = QuantumCircuit(2).x(1)
+        state = StatevectorSimulator().run(qc)
+        counts = state.sample(100, np.random.default_rng(0))
+        assert counts == {"01": 100}
+
+
+class TestSimulatorAgainstDenseUnitary:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_dense_unitary(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(4, 12, rng)
+        state = StatevectorSimulator().run(qc)
+        expected = qc.unitary()[:, 0]
+        assert np.allclose(state.amplitudes, expected, atol=1e-9)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_norm_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = random_circuit(3, 30, rng)
+        assert StatevectorSimulator().run(qc).norm() == pytest.approx(1.0)
+
+
+class TestDistribution:
+    def test_bell_distribution(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        dist = ideal_distribution(qc)
+        assert dist["00"] == pytest.approx(0.5)
+        assert dist["11"] == pytest.approx(0.5)
+        assert set(dist) == {"00", "11"}
+
+    def test_measured_subset(self):
+        qc = QuantumCircuit(3).x(1).measure(1)
+        dist = ideal_distribution(qc)
+        assert dist == {"1": pytest.approx(1.0)}
+
+    def test_ghz_distribution(self):
+        qc = QuantumCircuit(4).h(0)
+        for i in range(3):
+            qc.cnot(i, i + 1)
+        dist = ideal_distribution(qc)
+        assert dist["0000"] == pytest.approx(0.5)
+        assert dist["1111"] == pytest.approx(0.5)
+
+    def test_sample_totals(self):
+        qc = QuantumCircuit(1).h(0)
+        counts = StatevectorSimulator().sample(qc, 1000, np.random.default_rng(1))
+        assert sum(counts.values()) == 1000
+        assert set(counts) <= {"0", "1"}
+
+    def test_measurements_ignored_in_run(self):
+        qc = QuantumCircuit(1).h(0).measure(0)
+        state = StatevectorSimulator().run(qc)
+        assert state.norm() == pytest.approx(1.0)

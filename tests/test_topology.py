@@ -1,0 +1,119 @@
+"""Tests for device topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.device.topology import (
+    Topology,
+    aspen_topology,
+    linear_topology,
+    make_link,
+)
+from repro.exceptions import DeviceError
+
+
+class TestMakeLink:
+    def test_canonical_ordering(self):
+        assert make_link(5, 2) == (2, 5)
+        assert make_link(2, 5) == (2, 5)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(DeviceError):
+            make_link(3, 3)
+
+
+class TestLinearTopology:
+    def test_structure(self):
+        topo = linear_topology(4)
+        assert topo.num_qubits == 4
+        assert topo.links == ((0, 1), (1, 2), (2, 3))
+
+    def test_minimum_size(self):
+        with pytest.raises(DeviceError):
+            linear_topology(1)
+
+    def test_neighbors_and_degree(self):
+        topo = linear_topology(4)
+        assert topo.neighbors(1) == [0, 2]
+        assert topo.degree(0) == 1
+
+    def test_shortest_path(self):
+        topo = linear_topology(5)
+        assert topo.shortest_path(0, 3) == [0, 1, 2, 3]
+        assert topo.distance(0, 4) == 4
+
+    def test_connected(self):
+        assert linear_topology(6).is_connected()
+
+
+class TestAspenTopology:
+    def test_single_octagon(self):
+        topo = aspen_topology(1, 1)
+        assert topo.num_qubits == 8
+        assert topo.num_links == 8  # a pure ring
+
+    def test_horizontal_coupling(self):
+        topo = aspen_topology(1, 2)
+        assert topo.num_qubits == 16
+        # 2 rings (16) + 2 inter-octagon links.
+        assert topo.num_links == 18
+        assert topo.has_link(1, 16)
+        assert topo.has_link(2, 15)
+
+    def test_vertical_coupling(self):
+        topo = aspen_topology(2, 1)
+        assert topo.has_link(0, 13)
+        assert topo.has_link(7, 14)
+
+    def test_aspen_m1_scale(self):
+        topo = aspen_topology(2, 5)
+        assert topo.num_qubits == 80
+        # 10 rings (80) + 8 horizontal pairs (16) + 5 vertical pairs (10).
+        assert topo.num_links == 106
+
+    def test_dead_qubits_removed(self):
+        topo = aspen_topology(1, 1, dead_qubits=(3,))
+        assert topo.num_qubits == 7
+        assert not any(3 in link for link in topo.links)
+
+    def test_disabled_links_removed(self):
+        topo = aspen_topology(1, 1, disabled_links=((0, 1),))
+        assert not topo.has_link(0, 1)
+        assert topo.num_links == 7
+
+    def test_rigetti_id_convention(self):
+        topo = aspen_topology(1, 3)
+        assert 20 in topo.qubits  # third octagon starts at 20
+        assert max(topo.qubits) == 27
+
+    def test_invalid_grid(self):
+        with pytest.raises(DeviceError):
+            aspen_topology(0, 1)
+
+
+class TestTopologyValidation:
+    def test_non_canonical_link_rejected(self):
+        with pytest.raises(DeviceError):
+            Topology("bad", (0, 1), ((1, 0),))
+
+    def test_unknown_qubit_in_link_rejected(self):
+        with pytest.raises(DeviceError):
+            Topology("bad", (0, 1), ((0, 2),))
+
+    def test_no_path_raises(self):
+        topo = Topology("split", (0, 1, 2, 3), ((0, 1), (2, 3)))
+        with pytest.raises(DeviceError):
+            topo.shortest_path(0, 3)
+
+    def test_bfs_region(self):
+        topo = linear_topology(6)
+        region = topo.connected_subgraph_qubits(2, 4)
+        assert len(region) == 4
+        assert region[0] == 2
+        graph = topo.graph().subgraph(region)
+        assert nx.is_connected(graph)
+
+    def test_bfs_region_too_large(self):
+        topo = Topology("split", (0, 1, 2), ((0, 1),))
+        with pytest.raises(DeviceError):
+            topo.connected_subgraph_qubits(0, 3)
