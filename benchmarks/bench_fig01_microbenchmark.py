@@ -13,3 +13,8 @@ def bench_fig1c(benchmark, context):
     emit(result)
     assert len(result.rows) == 3
     assert all(0.0 <= row[1] <= 1.0 for row in result.rows)
+    # Every device job went through the execution service ledger.
+    stats = context.executor.stats
+    assert stats.jobs > 0 and stats.shots > 0
+    print("--- execution-service stats ---")
+    print(stats.to_text())

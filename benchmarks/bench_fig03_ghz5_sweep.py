@@ -19,3 +19,9 @@ def bench_fig3(benchmark, context):
     assert len(values) == 81
     ratio = {r[0]: r[1] for r in result.rows}["best / noise-adaptive"]
     assert ratio > 1.05, "runtime best should clearly beat noise-adaptive"
+    # All 81 sweep measurements flowed through the execution service.
+    stats = context.executor.stats
+    assert stats.jobs_by_tag.get("measure", 0) >= 81
+    assert stats.shots >= 81 * 512
+    print("--- execution-service stats ---")
+    print(stats.to_text())

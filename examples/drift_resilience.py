@@ -11,6 +11,7 @@ Run:  python examples/drift_resilience.py
 
 from repro.compiler import transpile
 from repro.core import Angel, AngelConfig
+from repro.exec import Job
 from repro.experiments import ExperimentContext
 from repro.metrics import success_rate_from_counts
 from repro.programs import ghz_n4
@@ -33,7 +34,8 @@ def main() -> None:
         )
         result = angel.select(compiled)
         circuit = compiled.nativized(result.sequence, name_suffix=f"_{tag}")
-        sr = success_rate_from_counts(ideal, device.run(circuit, SHOTS))
+        counts = context.executor.submit(Job(circuit, SHOTS, tag="final")).counts
+        sr = success_rate_from_counts(ideal, counts)
         return result.sequence, sr
 
     sequence, reference_sr = learn("t0")
@@ -44,7 +46,8 @@ def main() -> None:
         device.advance_time(HOUR_US)
         context.service.maybe_recalibrate()
         circuit = compiled.nativized(sequence, name_suffix=f"_h{hour}")
-        sr = success_rate_from_counts(ideal, device.run(circuit, SHOTS))
+        counts = context.executor.submit(Job(circuit, SHOTS, tag="monitor")).counts
+        sr = success_rate_from_counts(ideal, counts)
         status = ""
         if sr < reference_sr - RELEARN_DROP:
             sequence, reference_sr = learn(f"t{hour}")

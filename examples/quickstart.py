@@ -16,6 +16,7 @@ Run:  python examples/quickstart.py
 
 from repro.compiler import transpile
 from repro.core import Angel, AngelConfig
+from repro.exec import Job
 from repro.experiments import ExperimentContext
 from repro.metrics import success_rate_from_counts
 from repro.programs import ghz_n4
@@ -46,19 +47,27 @@ def main() -> None:
           f"{result.reference_sequence.label()}")
     print(f"learned sequence:                    {result.sequence.label()}")
 
-    # Final comparison on the actual program.
+    # Final comparison on the actual program, via the execution service.
     ideal = compiled.ideal_distribution()
     shots = 4096
-    baseline_counts = device.run(
-        compiled.nativized(result.reference_sequence, name_suffix="_base"),
-        shots,
-    )
-    angel_counts = device.run(angel.nativize(compiled, result), shots)
+    executor = context.executor
+    baseline_counts = executor.submit(
+        Job(
+            compiled.nativized(result.reference_sequence, name_suffix="_base"),
+            shots,
+            tag="final",
+        )
+    ).counts
+    angel_counts = executor.submit(
+        Job(angel.nativize(compiled, result), shots, tag="final")
+    ).counts
     baseline_sr = success_rate_from_counts(ideal, baseline_counts)
     angel_sr = success_rate_from_counts(ideal, angel_counts)
     print(f"\nbaseline (noise-adaptive) SR: {baseline_sr:.3f}")
     print(f"ANGEL SR:                     {angel_sr:.3f} "
           f"({angel_sr / baseline_sr:.2f}x)")
+    print("\nexecution-service ledger:")
+    print(executor.stats.to_text())
 
 
 if __name__ == "__main__":

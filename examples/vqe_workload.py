@@ -15,6 +15,7 @@ Run:  python examples/vqe_workload.py
 
 from repro.compiler import transpile
 from repro.core import Angel, AngelConfig
+from repro.exec import Job
 from repro.experiments import ExperimentContext
 from repro.metrics import success_rate_from_counts
 from repro.programs import vqe_n4
@@ -49,15 +50,22 @@ def main() -> None:
 
     ideal = compiled.ideal_distribution()
     shots = 4096
+    executor = context.executor
     baseline_sr = success_rate_from_counts(
         ideal,
-        device.run(
-            compiled.nativized(result.reference_sequence, name_suffix="_b"),
-            shots,
-        ),
+        executor.submit(
+            Job(
+                compiled.nativized(result.reference_sequence, name_suffix="_b"),
+                shots,
+                tag="final",
+            )
+        ).counts,
     )
     angel_sr = success_rate_from_counts(
-        ideal, device.run(angel.nativize(compiled, result), shots)
+        ideal,
+        executor.submit(
+            Job(angel.nativize(compiled, result), shots, tag="final")
+        ).counts,
     )
     print(f"\nVQE ansatz SR: baseline {baseline_sr:.3f} -> ANGEL "
           f"{angel_sr:.3f} ({angel_sr / baseline_sr:.2f}x)")

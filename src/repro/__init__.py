@@ -15,12 +15,15 @@ HPCA 2023), including every substrate the paper depends on:
   (:mod:`repro.compiler`);
 * ANGEL itself — CopyCats and the localized native-gate search
   (:mod:`repro.core`);
+* an execution service between the algorithms and the device — batched
+  probe jobs, pluggable backends, per-phase accounting
+  (:mod:`repro.exec`);
 * the paper's benchmark suite (:mod:`repro.programs`) and every
   figure/table as a reproducible experiment (:mod:`repro.experiments`).
 
 Quickstart::
 
-    from repro import Angel, AngelConfig, transpile, ghz
+    from repro import Angel, AngelConfig, Job, transpile, ghz
     from repro.experiments import ExperimentContext
 
     ctx = ExperimentContext.create()          # aged Aspen-11
@@ -28,7 +31,8 @@ Quickstart::
     angel = Angel(ctx.device, ctx.calibration, AngelConfig(seed=7))
     result = angel.select(compiled)           # 1 + 2L CopyCat probes
     program = angel.nativize(compiled, result)
-    counts = ctx.device.run(program, shots=4096)
+    counts = ctx.executor.submit(Job(program, shots=4096)).counts
+    print(ctx.executor.stats.to_text())       # probe vs final cost
 
 See README.md for the architecture overview, DESIGN.md for the
 paper-to-module map, and EXPERIMENTS.md for paper-vs-measured results.
@@ -58,6 +62,15 @@ from .device import (
     aspen_m1,
     build_device,
     small_test_device,
+)
+from .exec import (
+    Backend,
+    BatchExecutor,
+    ExecutorStats,
+    Job,
+    JobResult,
+    LocalBackend,
+    get_executor,
 )
 from .metrics import (
     geometric_mean,
@@ -98,6 +111,14 @@ __all__ = [
     "aspen_m1",
     "build_device",
     "small_test_device",
+    # execution service
+    "Backend",
+    "LocalBackend",
+    "Job",
+    "JobResult",
+    "BatchExecutor",
+    "ExecutorStats",
+    "get_executor",
     # metrics
     "success_rate",
     "success_rate_from_counts",

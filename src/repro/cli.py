@@ -24,6 +24,7 @@ from .compiler import transpile
 from .core import Angel, AngelConfig, NativeGateSequence
 from .device.native_gates import NATIVE_TWO_QUBIT_GATES
 from .exceptions import ReproError
+from .exec import Job
 from .experiments import ExperimentContext, run_experiment
 from .metrics import success_rate_from_counts
 from .programs import benchmark_suite, get_benchmark
@@ -93,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the native circuit as OpenQASM",
     )
+    compile_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print execution-service statistics (jobs/shots per phase)",
+    )
     _add_context_arguments(compile_parser)
 
     experiments_parser = sub.add_parser(
@@ -122,11 +128,13 @@ def _command_compile(args: argparse.Namespace) -> int:
         f"{program.name}: {compiled.num_cnot_sites} CNOT sites on "
         f"{len(compiled.links_used())} links of {context.device.name}"
     )
+    executor = context.executor
     if args.policy == "angel":
         angel = Angel(
             context.device,
             context.calibration,
             AngelConfig(probe_shots=args.probe_shots, seed=args.seed),
+            executor=executor,
         )
         result = angel.select(compiled)
         sequence = result.sequence
@@ -145,9 +153,12 @@ def _command_compile(args: argparse.Namespace) -> int:
         sequence = NativeGateSequence.uniform(compiled.sites, args.policy)
         print(f"fixed gate: {sequence.label()}")
     native = compiled.nativized(sequence, name_suffix=f"_{args.policy}")
-    counts = context.device.run(native, args.shots)
-    sr = success_rate_from_counts(ideal, counts)
+    result = executor.submit(Job(native, args.shots, tag="final"))
+    sr = success_rate_from_counts(ideal, result.counts)
     print(f"success rate over {args.shots} shots: {sr:.4f}")
+    if args.stats:
+        print("--- execution-service stats ---")
+        print(executor.stats.to_text())
     if args.emit_qasm:
         print()
         print(to_qasm(native))

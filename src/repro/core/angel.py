@@ -15,17 +15,22 @@ three natives available (Table II).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+from ..compiler.nativization import nativize, single_qubit_native
 from ..compiler.passes import CompiledProgram, transpile
 from ..device.calibration import CalibrationData
 from ..device.device import RigettiAspenDevice
+from ..device.native_gates import NativeGateSet, cnot_decomposition
 from ..device.topology import Link
-from ..exceptions import SearchError
+from ..exceptions import CompilationError, SearchError
+from ..exec import BatchExecutor, Job, get_executor
 from ..metrics import success_rate_from_counts
 from .copycat import DEFAULT_NON_CLIFFORD_BUDGET, CopyCat, build_copycat
 from .policies import noise_adaptive_sequence, random_sequence
@@ -102,6 +107,11 @@ class Angel:
         calibration: Vendor calibration data (reference initialization;
             possibly stale — that is the point).
         config: Framework tunables.
+        executor: Execution service to submit probe jobs through.
+            Defaults to the device's shared sequential executor, which
+            reproduces the paper's one-probe-at-a-time semantics
+            bit-for-bit; a ``mode="parallel"`` executor batches each
+            link's candidates onto a process pool.
     """
 
     def __init__(
@@ -109,10 +119,14 @@ class Angel:
         device: RigettiAspenDevice,
         calibration: CalibrationData,
         config: Optional[AngelConfig] = None,
+        executor: Optional[BatchExecutor] = None,
     ) -> None:
         self.device = device
         self.calibration = calibration
         self.config = config or AngelConfig()
+        self.executor = (
+            executor if executor is not None else get_executor(device)
+        )
         self._rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------
@@ -137,29 +151,46 @@ class Angel:
         reference = self._initial_reference(compiled, gate_options)
         link_order = self._link_order(reference)
 
+        # The CopyCat circuit is fixed for the whole search; only the
+        # native gate at each CNOT site varies between candidates. The
+        # nativizer precomputes everything else (1q rewrites, barriers,
+        # measurements, pass-throughs) once instead of once per probe.
+        nativizer = _CopycatNativizer(copycat, compiled.device.native_gates)
+
         probes_run = 0
 
-        def probe(sequence: NativeGateSequence) -> float:
+        def probe_batch(
+            sequences: Sequence[NativeGateSequence],
+        ) -> List[float]:
             nonlocal probes_run
-            # Nativize the CopyCat circuit itself under the candidate
+            # Nativize the CopyCat circuit itself under each candidate
             # sequence (identical CNOT skeleton -> identical site map).
-            probe_circuit = _nativize_copycat(
-                compiled, copycat, sequence, probes_run
-            )
-            counts = self.device.run(
-                probe_circuit,
-                self.config.probe_shots,
-                seed=int(self._rng.integers(2**31)),
-            )
-            probes_run += 1
-            return success_rate_from_counts(copycat_ideal, counts)
+            # Seeds are drawn in candidate order so the sampling streams
+            # match the historical one-probe-at-a-time loop exactly.
+            jobs = []
+            for offset, sequence in enumerate(sequences):
+                jobs.append(
+                    Job(
+                        nativizer.nativize(sequence, probes_run + offset),
+                        self.config.probe_shots,
+                        seed=int(self._rng.integers(2**31)),
+                        tag="probe",
+                    )
+                )
+            results = self.executor.submit_batch(jobs)
+            probes_run += len(jobs)
+            return [
+                success_rate_from_counts(copycat_ideal, result.counts)
+                for result in results
+            ]
 
         best, trace = localized_search(
-            probe,
+            None,
             reference,
             gate_options,
             link_order=link_order,
             max_passes=self.config.max_passes,
+            batch_probe=probe_batch,
         )
         return AngelResult(
             sequence=best,
@@ -213,22 +244,92 @@ class Angel:
         return None  # program order (default inside the search)
 
 
-def _nativize_copycat(
-    compiled: CompiledProgram,
-    copycat: CopyCat,
-    sequence: NativeGateSequence,
-    probe_number: int,
-) -> QuantumCircuit:
-    """Nativize the CopyCat circuit under a candidate sequence.
+class _CopycatNativizer:
+    """Candidate-circuit factory with the sequence-independent work hoisted.
 
-    The CopyCat shares the program's CNOT skeleton, so its site indices
-    coincide with the compiled program's and the same sequence applies.
+    :func:`~repro.compiler.nativization.nativize` redoes the single-qubit
+    rewrites, barrier/measurement copies, and pass-through checks for
+    every probe even though only the per-site two-qubit decompositions
+    change between candidates. The CopyCat shares the program's CNOT
+    skeleton, so its site indices coincide with the compiled program's
+    and any candidate sequence applies; this class walks the CopyCat once
+    into a segment list — fixed gates interleaved with CNOT-site slots —
+    and each probe only stitches in the sites' ``cnot_decomposition``.
+
+    Output is gate-for-gate identical to calling :func:`nativize` with
+    ``name_suffix=f"_probe{n}"`` (pinned by ``tests/test_exec.py``).
     """
-    from ..compiler.nativization import nativize
 
-    return nativize(
-        copycat.circuit,
-        sequence.as_site_map(),
-        native_gates=compiled.device.native_gates,
-        name_suffix=f"_probe{probe_number}",
-    )
+    _BARRIER = object()
+
+    def __init__(self, copycat: CopyCat, native_gates: NativeGateSet) -> None:
+        circuit = copycat.circuit
+        self._num_qubits = circuit.num_qubits
+        self._base_name = circuit.name
+        # Each segment is either _BARRIER, a tuple of pre-nativized fixed
+        # gates, or a CNOT site as (site_index, control, target).
+        segments: List[object] = []
+        site_index = 0
+
+        def fixed(gates: Sequence[Gate]) -> None:
+            if segments and isinstance(segments[-1], tuple) and (
+                segments[-1] and isinstance(segments[-1][0], Gate)
+            ):
+                segments[-1] = segments[-1] + tuple(gates)
+            else:
+                segments.append(tuple(gates))
+
+        for gate in circuit:
+            if gate.is_barrier:
+                segments.append(self._BARRIER)
+            elif gate.is_measurement:
+                fixed([gate])
+            elif gate.num_qubits == 1:
+                fixed(single_qubit_native(gate))
+            elif gate.name == "cnot":
+                segments.append((site_index, gate.qubits[0], gate.qubits[1]))
+                site_index += 1
+            elif gate.name == "swap":
+                a, b = gate.qubits
+                for control, target in ((a, b), (b, a), (a, b)):
+                    segments.append((site_index, control, target))
+                    site_index += 1
+            elif gate.name == "iswap":
+                fixed([Gate("xy", gate.qubits, (math.pi,))])
+            elif gate.name in native_gates.two_qubit:
+                fixed([gate])
+            else:
+                raise CompilationError(
+                    f"no nativization rule for 2q gate {gate.name!r}"
+                )
+        self._segments = segments
+        self.num_sites = site_index
+
+    def nativize(
+        self, sequence: NativeGateSequence, probe_number: int
+    ) -> QuantumCircuit:
+        """Build the candidate probe circuit for one sequence."""
+        site_gates = sequence.as_site_map()
+        native = QuantumCircuit(
+            self._num_qubits,
+            name=f"{self._base_name}_probe{probe_number}",
+        )
+        for segment in self._segments:
+            if segment is self._BARRIER:
+                native.barrier()
+            elif segment and isinstance(segment[0], int):
+                index, control, target = segment
+                try:
+                    assigned = site_gates[index]
+                except KeyError as exc:
+                    raise CompilationError(
+                        f"no native gate assigned to CNOT site {index}"
+                    ) from exc
+                for rewritten in cnot_decomposition(
+                    assigned, control, target
+                ):
+                    native.append(rewritten)
+            else:
+                for gate in segment:
+                    native.append(gate)
+        return native

@@ -31,6 +31,7 @@ from ..circuit.gates import Gate
 from ..compiler.nativization import nativize
 from ..compiler.passes import CompiledProgram
 from ..exceptions import SearchError
+from ..exec import Job, get_executor
 from ..linalg import phase_invariant_distance
 from ..sim.stabilizer import StabilizerSimulator
 from ..sim.statevector import StatevectorSimulator
@@ -162,9 +163,15 @@ class CliffordDataRegression:
                 sequence.as_site_map(),
                 native_gates=self.device.native_gates,
             )
-            counts = self.device.run(
-                native, self.shots, seed=int(self._rng.integers(2**31))
+            result = get_executor(self.device).submit(
+                Job(
+                    native,
+                    self.shots,
+                    seed=int(self._rng.integers(2**31)),
+                    tag="cdr_training",
+                )
             )
+            counts = result.counts
             total = sum(counts.values())
             noisy = parity_expectation(
                 {k: v / total for k, v in counts.items()}
@@ -188,9 +195,15 @@ class CliffordDataRegression:
         """Run the target and return (raw, mitigated, fit)."""
         fit = self.fit(compiled, sequence)
         native = compiled.nativized(sequence, name_suffix="_cdr_target")
-        counts = self.device.run(
-            native, target_shots, seed=int(self._rng.integers(2**31))
+        result = get_executor(self.device).submit(
+            Job(
+                native,
+                target_shots,
+                seed=int(self._rng.integers(2**31)),
+                tag="cdr_target",
+            )
         )
+        counts = result.counts
         total = sum(counts.values())
         raw = parity_expectation({k: v / total for k, v in counts.items()})
         return raw, fit.mitigate(raw), fit

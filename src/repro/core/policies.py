@@ -25,6 +25,7 @@ from ..device.calibration import CalibrationData
 from ..device.device import RigettiAspenDevice
 from ..device.topology import Link
 from ..exceptions import SearchError
+from ..exec import Job, get_executor
 from ..metrics import success_rate_from_counts
 from .sequence import NativeGateSequence, enumerate_sequences
 
@@ -130,18 +131,24 @@ def runtime_best(
     if ideal is None:
         ideal = compiled.ideal_distribution()
     options = compiled.gate_options()
+    executor = get_executor(compiled.device)
     evaluations: List[SequenceEvaluation] = []
     best: Optional[SequenceEvaluation] = None
     for number, sequence in enumerate(
         enumerate_sequences(compiled.sites, options, granularity=granularity)
     ):
         circuit = compiled.nativized(sequence, name_suffix=f"_rb{number}")
-        counts = compiled.device.run(
-            circuit, shots, seed=None if seed is None else seed + number
+        result = executor.submit(
+            Job(
+                circuit,
+                shots,
+                seed=None if seed is None else seed + number,
+                tag="enumerate",
+            )
         )
         evaluation = SequenceEvaluation(
             sequence=sequence,
-            success_rate=success_rate_from_counts(ideal, counts),
+            success_rate=success_rate_from_counts(ideal, result.counts),
         )
         evaluations.append(evaluation)
         if best is None or evaluation.success_rate > best.success_rate:

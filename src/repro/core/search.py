@@ -31,6 +31,7 @@ from .sequence import NativeGateSequence
 __all__ = ["ProbeRecord", "SearchTrace", "localized_search"]
 
 ProbeFunction = Callable[[NativeGateSequence], float]
+BatchProbeFunction = Callable[[Sequence[NativeGateSequence]], List[float]]
 
 
 @dataclass(frozen=True)
@@ -67,11 +68,12 @@ class SearchTrace:
 
 
 def localized_search(
-    probe: ProbeFunction,
+    probe: Optional[ProbeFunction],
     initial: NativeGateSequence,
     gate_options: Mapping[Link, Sequence[str]],
     link_order: Optional[Sequence[Link]] = None,
     max_passes: int = 1,
+    batch_probe: Optional[BatchProbeFunction] = None,
 ) -> Tuple[NativeGateSequence, SearchTrace]:
     """Run the localized per-link search from an initial reference.
 
@@ -88,6 +90,12 @@ def localized_search(
             addressing its Section VI-E limitation (1) — the search
             stops early once a pass produces no update, so later passes
             only spend probes when they can still help.
+        batch_probe: Evaluates a whole batch of sequences at once,
+            returning their success rates in order; overrides ``probe``.
+            The search only ever batches *within* one link's candidate
+            set — the continuous reference update happens between links,
+            so batched and one-at-a-time probing are semantically
+            identical.
 
     Returns:
         ``(best_sequence, trace)`` — the final reference and the full
@@ -95,6 +103,12 @@ def localized_search(
     """
     if max_passes < 1:
         raise SearchError("max_passes must be at least 1")
+    if batch_probe is not None:
+        evaluate = batch_probe
+    elif probe is not None:
+        evaluate = lambda sequences: [probe(s) for s in sequences]
+    else:
+        raise SearchError("either probe or batch_probe is required")
     if not initial.is_link_uniform():
         raise SearchError(
             "initial reference must assign one gate per link "
@@ -108,7 +122,7 @@ def localized_search(
 
     trace = SearchTrace()
     reference = initial
-    reference_sr = probe(reference)
+    reference_sr = evaluate([reference])[0]
     trace.probes.append(
         ProbeRecord(reference, reference_sr, None, "reference", True)
     )
@@ -124,9 +138,19 @@ def localized_search(
             best_candidate: Optional[NativeGateSequence] = None
             best_candidate_sr = reference_sr
             records: List[ProbeRecord] = []
-            for gate in alternatives:
-                candidate = reference.with_link_gate(link, gate)
-                candidate_sr = probe(candidate)
+            # All of one link's alternatives go to the device as a single
+            # batch; the reference update below happens after the batch,
+            # exactly as in the one-at-a-time formulation.
+            candidates = [
+                reference.with_link_gate(link, gate) for gate in alternatives
+            ]
+            rates = evaluate(candidates) if candidates else []
+            if len(rates) != len(candidates):
+                raise SearchError(
+                    f"batch probe returned {len(rates)} rates for "
+                    f"{len(candidates)} candidates"
+                )
+            for candidate, candidate_sr in zip(candidates, rates):
                 records.append(
                     ProbeRecord(
                         candidate, candidate_sr, link, "candidate", False

@@ -29,6 +29,7 @@ from scipy.optimize import curve_fit
 
 from ..circuit.circuit import QuantumCircuit
 from ..exceptions import CalibrationError, DeviceError
+from ..exec import Job, get_executor
 from .device import RigettiAspenDevice
 from .native_gates import NATIVE_TWO_QUBIT_GATES
 from .topology import Link, make_link
@@ -150,10 +151,11 @@ def mirror_benchmark_fidelity(
     link = make_link(*link)
     qubit_a, qubit_b = link
     survivals: List[float] = []
+    executor = get_executor(device)
     for depth in depths:
         circuit = _mirror_circuit(qubit_a, qubit_b, gate_name, depth, rng)
-        counts = device.run(circuit, shots)
-        survivals.append(counts.get("00", 0) / shots)
+        result = executor.submit(Job(circuit, shots, tag="calibration"))
+        survivals.append(result.counts.get("00", 0) / shots)
 
     def model(m: np.ndarray, amplitude: float, fidelity: float) -> np.ndarray:
         return amplitude * fidelity ** (2 * m) + 0.25

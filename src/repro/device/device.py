@@ -26,9 +26,11 @@ from ..circuit.dag import circuit_moments
 from ..circuit.gates import Gate
 from ..exceptions import DeviceError
 from ..linalg import channel_average_fidelity
+from ..sim.channel_cache import ChannelCache
 from ..sim.channels import (
     KrausChannel,
     ReadoutError,
+    Superoperator,
     thermal_relaxation_channel,
     two_qubit_depolarizing_channel,
     depolarizing_channel,
@@ -61,13 +63,30 @@ _NS_PER_US = 1000.0
 
 @dataclass(frozen=True)
 class ExecutionRecord:
-    """Audit entry for one device job, kept for experiment reporting."""
+    """Audit entry for one device job, kept for experiment reporting.
+
+    Attributes:
+        circuit_name: Name of the executed circuit (candidates carry
+            their probe suffix, so logs identify which sequence ran).
+        shots: Shots sampled.
+        started_at_us: Device clock when the job started.
+        duration_us: Simulated wall time the job occupied the device.
+        qubits: Physical qubits the job touched.
+        seed: Sampling seed the submitter supplied (``None`` means the
+            device's own stream was used) — lets the audit trail line up
+            with executor job records for exact replay.
+        job_id: Executor-assigned job identifier ("" for direct runs).
+        tag: Workload phase ("probe", "final", "calibration", ...).
+    """
 
     circuit_name: str
     shots: int
     started_at_us: float
     duration_us: float
     qubits: Tuple[int, ...]
+    seed: Optional[int] = None
+    job_id: str = ""
+    tag: str = ""
 
 
 class RigettiAspenDevice:
@@ -94,6 +113,13 @@ class RigettiAspenDevice:
             frequency-crowding crosstalk the paper cites as a motivation
             for richer native gate sets (Section II-B). Extension; 0
             disables it (default).
+        channel_cache: Memoize noise-channel construction and fuse each
+            gate's ideal unitary plus its whole noise tail into one
+            cached superoperator (applied as a single contraction). The
+            cache is keyed on the current noise-parameter values and
+            cleared whenever :meth:`advance_time` drifts them (tracked
+            by :attr:`drift_epoch`), so it is exact. On by default;
+            disable to run the reference per-Kraus-operator path.
     """
 
     def __init__(
@@ -105,6 +131,7 @@ class RigettiAspenDevice:
         seed: int = 0,
         idle_noise: bool = False,
         crosstalk_zz: float = 0.0,
+        channel_cache: bool = True,
     ) -> None:
         missing = [q for q in topology.qubits if q not in qubit_params]
         if missing:
@@ -122,6 +149,12 @@ class RigettiAspenDevice:
         self.crosstalk_zz = float(crosstalk_zz)
         self.clock_us = 0.0
         self.execution_log: List[ExecutionRecord] = []
+        #: Counts how many times drift has moved the noise parameters;
+        #: the channel cache is valid only within one epoch.
+        self.drift_epoch = 0
+        self.channel_cache: Optional[ChannelCache] = (
+            ChannelCache() if channel_cache else None
+        )
         self._drift_rng = np.random.default_rng(seed)
         self._sample_rng = np.random.default_rng(seed + 1)
 
@@ -150,7 +183,12 @@ class RigettiAspenDevice:
     # Time and drift
     # ------------------------------------------------------------------
     def advance_time(self, dt_us: float) -> None:
-        """Advance the wall clock, drifting every noise parameter."""
+        """Advance the wall clock, drifting every noise parameter.
+
+        Every nonzero advance bumps :attr:`drift_epoch` and invalidates
+        the channel cache: the cached operators encode the pre-drift
+        parameter values and must be rebuilt from the new ones.
+        """
         if dt_us < 0:
             raise DeviceError("cannot advance time backwards")
         if dt_us == 0:
@@ -162,6 +200,9 @@ class RigettiAspenDevice:
         for params in self.gate_params.values():
             for value in params.drifting_values():
                 value.advance(dt_us, self._drift_rng)
+        self.drift_epoch += 1
+        if self.channel_cache is not None:
+            self.channel_cache.invalidate(self.drift_epoch)
 
     def circuit_duration_us(self, circuit: QuantumCircuit) -> float:
         """Critical-path duration of one shot of a native circuit."""
@@ -196,6 +237,8 @@ class RigettiAspenDevice:
         circuit: QuantumCircuit,
         shots: int,
         seed: Optional[int] = None,
+        job_id: str = "",
+        tag: str = "",
     ) -> Counts:
         """Execute a native circuit on physical qubits; returns counts.
 
@@ -207,7 +250,9 @@ class RigettiAspenDevice:
         Each call advances the device clock by the job's wall time, so
         back-to-back runs observe drifted noise — this is what makes the
         ANGEL probing loop live in the same noise environment as the
-        final program execution.
+        final program execution. ``job_id``/``tag`` are carried into the
+        :class:`ExecutionRecord` so executor-submitted jobs line up with
+        the device audit trail.
         """
         if shots < 1:
             raise DeviceError("shots must be positive")
@@ -218,7 +263,8 @@ class RigettiAspenDevice:
             compact = self._with_idle_markers(compact)
 
         simulator = DensityMatrixSimulator(
-            self._noise_callback_factory(used)
+            self._noise_callback_factory(used),
+            operation_compiler=self._operation_compiler_factory(used),
         )
         readout = [
             self.qubit_params[phys].readout_error() for phys in used
@@ -229,22 +275,44 @@ class RigettiAspenDevice:
             else self._sample_rng
         )
         counts = simulator.sample(compact, shots, rng, readout_errors=readout)
+        self.log_execution(
+            circuit, shots, seed=seed, job_id=job_id, tag=tag, qubits=used
+        )
+        return counts
 
+    def log_execution(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        seed: Optional[int] = None,
+        job_id: str = "",
+        tag: str = "",
+        qubits: Optional[List[int]] = None,
+    ) -> ExecutionRecord:
+        """Account one executed job: audit record plus clock advance.
+
+        Factored out of :meth:`run` so the execution service can account
+        batch jobs whose distributions were simulated against a shared
+        parameter snapshot — the accounting (record order, durations,
+        drift advance sequence) stays identical to sequential execution.
+        """
         duration = (
             _JOB_OVERHEAD_US
             + shots * (self.circuit_duration_us(circuit) + _SHOT_OVERHEAD_US)
         )
-        self.execution_log.append(
-            ExecutionRecord(
-                circuit_name=circuit.name,
-                shots=shots,
-                started_at_us=self.clock_us,
-                duration_us=duration,
-                qubits=tuple(used),
-            )
+        record = ExecutionRecord(
+            circuit_name=circuit.name,
+            shots=shots,
+            started_at_us=self.clock_us,
+            duration_us=duration,
+            qubits=tuple(qubits if qubits is not None else self._used_qubits(circuit)),
+            seed=seed,
+            job_id=job_id,
+            tag=tag,
         )
+        self.execution_log.append(record)
         self.advance_time(duration)
-        return counts
+        return record
 
     def _validate(self, circuit: QuantumCircuit) -> None:
         if not circuit.has_measurements:
@@ -327,6 +395,18 @@ class RigettiAspenDevice:
                     marked.append(Gate("idle", (qubit,), (duration,)))
         return marked
 
+    def _cached(self, key, factory):
+        """Memoize a channel construction if the cache is enabled.
+
+        Keys embed the drifting parameter *values* they were built from,
+        so a hit is bit-identical to a fresh construction by design; the
+        epoch invalidation in :meth:`advance_time` merely keeps the
+        table from accumulating dead pre-drift entries.
+        """
+        if self.channel_cache is None:
+            return factory()
+        return self.channel_cache.get(key, factory)
+
     def _noise_callback_factory(self, used: List[int]):
         """Noise hook for the density-matrix simulator, in local indices."""
         phys_of = dict(enumerate(used))
@@ -344,24 +424,132 @@ class RigettiAspenDevice:
 
         return callback
 
+    def _operation_compiler_factory(self, used: List[int]):
+        """Fused fast path: one cached superoperator per gate instance.
+
+        Each instruction's ideal unitary and full noise tail (coherent
+        error, depolarizing, both qubits' relaxation) collapse into a
+        single superoperator, memoized per (gate, physical placement)
+        until drift invalidates it. Returns ``None`` when the cache is
+        disabled, falling back to the per-Kraus reference path.
+        """
+        if self.channel_cache is None:
+            return None
+        cache = self.channel_cache
+        phys_of = dict(enumerate(used))
+
+        def compiler(gate: Gate):
+            if gate.name == "idle":
+                phys = phys_of[gate.qubits[0]]
+                duration_us = gate.params[0] / _NS_PER_US
+                if duration_us <= 0:
+                    return ()
+                superop = cache.get(
+                    ("fused-idle", phys, gate.params),
+                    lambda: self._fused_idle(phys, duration_us),
+                )
+                return ((superop, gate.qubits),)
+            if gate.num_qubits == 1:
+                phys = phys_of[gate.qubits[0]]
+                superop = cache.get(
+                    ("fused-1q", gate.name, gate.params, phys),
+                    lambda: self._fused_single(gate, phys),
+                )
+                return ((superop, gate.qubits),)
+            if gate.num_qubits == 2:
+                phys_pair = (
+                    phys_of[gate.qubits[0]],
+                    phys_of[gate.qubits[1]],
+                )
+                superop = cache.get(
+                    ("fused-2q", gate.name, gate.params, phys_pair),
+                    lambda: self._fused_two(gate, phys_pair),
+                )
+                operations = [(superop, gate.qubits)]
+                if self.crosstalk_zz:
+                    operations.extend(
+                        self._crosstalk_superops(gate, phys_of)
+                    )
+                return tuple(operations)
+            return None  # unknown arity: reference path decides
+
+        return compiler
+
+    def _thermal_channel(self, phys: int, duration_us: float) -> KrausChannel:
+        """This qubit's relaxation over *duration_us*, at current values."""
+        params = self.qubit_params[phys]
+        t1 = params.t1_us.current
+        t2 = min(params.t2_us.current, 2 * t1)
+        return self._cached(
+            ("thermal", duration_us, t1, t2),
+            lambda: thermal_relaxation_channel(duration_us, t1, t2),
+        )
+
+    def _fused_idle(self, phys: int, duration_us: float) -> Superoperator:
+        return Superoperator.from_kraus(self._thermal_channel(phys, duration_us))
+
+    def _fused_single(self, gate: Gate, phys: int) -> Superoperator:
+        superop = Superoperator.from_unitary(gate.matrix(), gate.name)
+        if gate.name == "rz":
+            return superop  # virtual frame update: noiseless
+        params = self.qubit_params[phys]
+        over = params.rx_over_rotation.current
+        if abs(over) > 1e-12:
+            superop = superop.then(
+                Superoperator.from_unitary(
+                    single_qubit_coherent_error(over), "rx_coherent"
+                )
+            )
+        depol = params.rx_depolarizing.current
+        if depol > 0:
+            superop = superop.then(
+                Superoperator.from_kraus(depolarizing_channel(depol))
+            )
+        return superop.then(
+            Superoperator.from_kraus(
+                self._thermal_channel(phys, params.rx_duration_ns / _NS_PER_US)
+            )
+        )
+
+    def _fused_two(
+        self, gate: Gate, phys_pair: Tuple[int, int]
+    ) -> Superoperator:
+        link = make_link(*phys_pair)
+        params = self.gate_params[(link, gate.name)]
+        superop = Superoperator.from_unitary(gate.matrix(), gate.name)
+        over = params.over_rotation.current
+        zz = params.zz_error.current
+        if abs(over) > 1e-12 or abs(zz) > 1e-12:
+            superop = superop.then(
+                Superoperator.from_unitary(
+                    coherent_error_unitary(gate.name, over, zz),
+                    f"{gate.name}_coherent",
+                )
+            )
+        depol = params.depolarizing.current
+        if depol > 0:
+            superop = superop.then(
+                Superoperator.from_kraus(
+                    two_qubit_depolarizing_channel(depol)
+                )
+            )
+        duration_us = params.duration_ns / _NS_PER_US
+        for position, phys in enumerate(phys_pair):
+            superop = superop.then(
+                Superoperator.from_kraus(
+                    self._thermal_channel(phys, duration_us)
+                ).embed(position, 2)
+            )
+        return superop
+
     def _idle_noise(
         self, gate: Gate, phys_of: Dict[int, int]
     ) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
         phys = phys_of[gate.qubits[0]]
-        params = self.qubit_params[phys]
         duration_us = gate.params[0] / _NS_PER_US
         if duration_us <= 0:
             return []
-        return [
-            (
-                thermal_relaxation_channel(
-                    duration_us,
-                    params.t1_us.current,
-                    min(params.t2_us.current, 2 * params.t1_us.current),
-                ),
-                gate.qubits,
-            )
-        ]
+        return [(self._thermal_channel(phys, duration_us), gate.qubits)]
 
     def _single_qubit_noise(
         self, gate: Gate, phys_of: Dict[int, int]
@@ -373,21 +561,30 @@ class RigettiAspenDevice:
         if abs(over) > 1e-12:
             ops.append(
                 (
-                    unitary_channel(
-                        single_qubit_coherent_error(over), "rx_coherent"
+                    self._cached(
+                        ("rx_coherent", over),
+                        lambda: unitary_channel(
+                            single_qubit_coherent_error(over), "rx_coherent"
+                        ),
                     ),
                     gate.qubits,
                 )
             )
         depol = params.rx_depolarizing.current
         if depol > 0:
-            ops.append((depolarizing_channel(depol), gate.qubits))
+            ops.append(
+                (
+                    self._cached(
+                        ("depol1", depol),
+                        lambda: depolarizing_channel(depol),
+                    ),
+                    gate.qubits,
+                )
+            )
         ops.append(
             (
-                thermal_relaxation_channel(
-                    params.rx_duration_ns / _NS_PER_US,
-                    params.t1_us.current,
-                    min(params.t2_us.current, 2 * params.t1_us.current),
+                self._thermal_channel(
+                    phys, params.rx_duration_ns / _NS_PER_US
                 ),
                 gate.qubits,
             )
@@ -406,32 +603,61 @@ class RigettiAspenDevice:
         if abs(over) > 1e-12 or abs(zz) > 1e-12:
             ops.append(
                 (
-                    unitary_channel(
-                        coherent_error_unitary(gate.name, over, zz),
-                        f"{gate.name}_coherent",
+                    self._cached(
+                        ("coherent2", gate.name, over, zz),
+                        lambda: unitary_channel(
+                            coherent_error_unitary(gate.name, over, zz),
+                            f"{gate.name}_coherent",
+                        ),
                     ),
                     gate.qubits,
                 )
             )
         depol = params.depolarizing.current
         if depol > 0:
-            ops.append((two_qubit_depolarizing_channel(depol), gate.qubits))
-        duration_us = params.duration_ns / _NS_PER_US
-        for local_qubit, phys in zip(gate.qubits, phys_pair):
-            qparams = self.qubit_params[phys]
             ops.append(
                 (
-                    thermal_relaxation_channel(
-                        duration_us,
-                        qparams.t1_us.current,
-                        min(qparams.t2_us.current, 2 * qparams.t1_us.current),
+                    self._cached(
+                        ("depol2", depol),
+                        lambda: two_qubit_depolarizing_channel(depol),
                     ),
-                    (local_qubit,),
+                    gate.qubits,
                 )
+            )
+        duration_us = params.duration_ns / _NS_PER_US
+        for local_qubit, phys in zip(gate.qubits, phys_pair):
+            ops.append(
+                (self._thermal_channel(phys, duration_us), (local_qubit,))
             )
         if self.crosstalk_zz:
             ops.extend(self._crosstalk_ops(gate, phys_of))
         return ops
+
+    def _crosstalk_unitary(self) -> np.ndarray:
+        """``exp(-i zeta ZZ / 2)`` for the device's spectator coupling."""
+        return np.diag(
+            np.exp(
+                -1j
+                * (self.crosstalk_zz / 2.0)
+                * np.array([1.0, -1.0, -1.0, 1.0])
+            )
+        ).astype(complex)
+
+    def _crosstalk_pairs(
+        self, gate: Gate, phys_of: Dict[int, int]
+    ) -> List[Tuple[int, int]]:
+        """(pulsed, spectator) local-index pairs coupled during a pulse."""
+        local_of = {phys: local for local, phys in phys_of.items()}
+        pairs: List[Tuple[int, int]] = []
+        pulsed_local = set(gate.qubits)
+        for local_qubit in gate.qubits:
+            phys = phys_of[local_qubit]
+            for neighbour_phys in self.topology.neighbors(phys):
+                spectator = local_of.get(neighbour_phys)
+                if spectator is None or spectator in pulsed_local:
+                    continue
+                pairs.append((local_qubit, spectator))
+        return pairs
 
     def _crosstalk_ops(
         self, gate: Gate, phys_of: Dict[int, int]
@@ -443,29 +669,26 @@ class RigettiAspenDevice:
         with the pulsed qubit — the always-on coupling that frequency
         crowding leaves behind.
         """
-        local_of = {phys: local for local, phys in phys_of.items()}
-        zz_unitary = np.diag(
-            np.exp(
-                -1j
-                * (self.crosstalk_zz / 2.0)
-                * np.array([1.0, -1.0, -1.0, 1.0])
-            )
-        ).astype(complex)
-        ops: List[Tuple[KrausChannel, Tuple[int, ...]]] = []
-        pulsed_local = set(gate.qubits)
-        for local_qubit in gate.qubits:
-            phys = phys_of[local_qubit]
-            for neighbour_phys in self.topology.neighbors(phys):
-                spectator = local_of.get(neighbour_phys)
-                if spectator is None or spectator in pulsed_local:
-                    continue
-                ops.append(
-                    (
-                        unitary_channel(zz_unitary, "crosstalk_zz"),
-                        (local_qubit, spectator),
-                    )
-                )
-        return ops
+        channel = self._cached(
+            ("xtalk-kraus",),
+            lambda: unitary_channel(self._crosstalk_unitary(), "crosstalk_zz"),
+        )
+        return [
+            (channel, pair) for pair in self._crosstalk_pairs(gate, phys_of)
+        ]
+
+    def _crosstalk_superops(
+        self, gate: Gate, phys_of: Dict[int, int]
+    ) -> List[Tuple[Superoperator, Tuple[int, ...]]]:
+        superop = self._cached(
+            ("xtalk-superop",),
+            lambda: Superoperator.from_unitary(
+                self._crosstalk_unitary(), "crosstalk_zz"
+            ),
+        )
+        return [
+            (superop, pair) for pair in self._crosstalk_pairs(gate, phys_of)
+        ]
 
     def noisy_distribution(self, circuit: QuantumCircuit) -> Dict[str, float]:
         """Oracle: the exact noisy output distribution, right now.
@@ -480,7 +703,10 @@ class RigettiAspenDevice:
         compact, _ = self._compact_circuit(circuit, used)
         if self.idle_noise:
             compact = self._with_idle_markers(compact)
-        simulator = DensityMatrixSimulator(self._noise_callback_factory(used))
+        simulator = DensityMatrixSimulator(
+            self._noise_callback_factory(used),
+            operation_compiler=self._operation_compiler_factory(used),
+        )
         readout = [self.qubit_params[phys].readout_error() for phys in used]
         return simulator.distribution(compact, readout_errors=readout)
 

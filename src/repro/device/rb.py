@@ -34,6 +34,7 @@ from scipy.optimize import curve_fit
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.gates import Gate
 from ..exceptions import DeviceError
+from ..exec import Job, get_executor
 from ..sim.clifford_group import CliffordElement, clifford_group, tableau_key
 from ..sim.stabilizer import StabilizerTableau
 from .device import RigettiAspenDevice
@@ -212,13 +213,14 @@ def standard_rb(
     """Run standard two-qubit RB on a link; returns the fitted decay."""
     rng = rng if rng is not None else np.random.default_rng()
     link = make_link(*link)
+    executor = get_executor(device)
     survivals: List[float] = []
     for depth in depths:
         total = 0.0
         for _ in range(sequences_per_depth):
             circuit = _rb_circuit(link, depth, rng, None, dressing_native)
-            counts = device.run(circuit, shots)
-            total += counts.get("00", 0) / shots
+            result = executor.submit(Job(circuit, shots, tag="rb"))
+            total += result.counts.get("00", 0) / shots
         survivals.append(total / sequences_per_depth)
     _, alpha, _ = _fit_decay(depths, survivals)
     fidelity = 1.0 - (1.0 - alpha) * 3.0 / 4.0
@@ -257,13 +259,14 @@ def interleaved_rb_fidelity(
         device, link, depths, shots, sequences_per_depth,
         dressing_native, rng,
     )
+    executor = get_executor(device)
     survivals: List[float] = []
     for depth in depths:
         total = 0.0
         for _ in range(sequences_per_depth):
             circuit = _rb_circuit(link, depth, rng, gate_name, dressing_native)
-            counts = device.run(circuit, shots)
-            total += counts.get("00", 0) / shots
+            result = executor.submit(Job(circuit, shots, tag="rb"))
+            total += result.counts.get("00", 0) / shots
         survivals.append(total / sequences_per_depth)
     _, alpha_int, _ = _fit_decay(depths, survivals)
     alpha_std = max(standard.alpha, 1e-6)

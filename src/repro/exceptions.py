@@ -55,6 +55,10 @@ class CalibrationError(ReproError):
     """Calibration data was queried for an unknown link or native gate."""
 
 
+class ExecutionError(ReproError):
+    """Invalid job submission or execution-service misconfiguration."""
+
+
 class SearchError(ReproError):
     """The ANGEL search was configured inconsistently.
 

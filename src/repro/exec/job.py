@@ -1,0 +1,76 @@
+"""Jobs and job results — the currency of the execution service.
+
+A :class:`Job` is one circuit-plus-shots submission; a :class:`JobResult`
+is its counts plus the accounting the device recorded for it. Both are
+frozen so they can be logged, compared, and shipped across process
+boundaries without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+from ..exceptions import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["Job", "JobResult"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of device work: a native circuit and a shot budget.
+
+    Attributes:
+        circuit: The native circuit to execute (physical qubit ids).
+        shots: Number of shots to sample.
+        seed: Sampling seed; ``None`` uses the device's own stream
+            (matching a direct ``device.run`` call without a seed).
+        tag: Workload phase this job belongs to ("probe", "final",
+            "calibration", ...) — drives per-phase executor stats.
+        job_id: Executor-assigned identifier; leave empty on submission.
+    """
+
+    circuit: "QuantumCircuit"
+    shots: int
+    seed: Optional[int] = None
+    tag: str = ""
+    job_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.shots < 1:
+            raise ExecutionError("job shots must be positive")
+
+    def with_id(self, job_id: str) -> "Job":
+        return replace(self, job_id=job_id)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Counts plus device accounting for one executed job.
+
+    Attributes:
+        job_id / tag / shots / seed: Echoed from the job.
+        counts: Big-endian bitstring -> shot count.
+        started_at_us: Device clock when the job started.
+        duration_us: Simulated wall time the job occupied the device.
+        qubits: Physical qubits the job touched.
+    """
+
+    job_id: str
+    counts: Dict[str, int]
+    shots: int
+    tag: str = ""
+    seed: Optional[int] = None
+    started_at_us: float = 0.0
+    duration_us: float = 0.0
+    qubits: Tuple[int, ...] = ()
+
+    def distribution(self) -> Dict[str, float]:
+        """The counts normalized to a probability distribution."""
+        total = sum(self.counts.values())
+        if total <= 0:
+            raise ExecutionError(f"job {self.job_id!r} has empty counts")
+        return {key: value / total for key, value in self.counts.items()}

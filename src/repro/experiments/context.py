@@ -21,6 +21,7 @@ from ..device.device import RigettiAspenDevice
 from ..device.presets import DEFAULT_PROFILE, NoiseProfile, aspen11, aspen_m1
 from ..device.topology import Link
 from ..exceptions import ReproError
+from ..exec import BatchExecutor, Job, get_executor
 from ..metrics import success_rate
 
 __all__ = ["ExperimentContext"]
@@ -111,13 +112,22 @@ class ExperimentContext:
         """Shot-noise-free SR of a native circuit (oracle view)."""
         return success_rate(ideal, self.device.noisy_distribution(circuit))
 
+    @property
+    def executor(self) -> BatchExecutor:
+        """The execution service shared by everything using this device."""
+        return get_executor(self.device)
+
     def measured_success_rate(self, circuit, ideal, shots: int) -> float:
         """Shot-based SR of a native circuit (what a user measures)."""
-        counts = self.device.run(
-            circuit, shots, seed=int(self.rng.integers(2**31))
+        result = self.executor.submit(
+            Job(
+                circuit,
+                shots,
+                seed=int(self.rng.integers(2**31)),
+                tag="measure",
+            )
         )
-        total = sum(counts.values())
-        return success_rate(ideal, {k: v / total for k, v in counts.items()})
+        return success_rate(ideal, result.distribution())
 
     def full_gate_links(self) -> List[Link]:
         """Links supporting all three native gates (for micro-studies)."""

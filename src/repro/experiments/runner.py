@@ -90,15 +90,26 @@ def run_experiment(
 
 
 def main(argv: Optional[list] = None) -> int:
-    """CLI: ``python -m repro.experiments.runner <id> [<id> ...]``."""
+    """CLI: ``python -m repro.experiments.runner [--stats] <id>...``."""
     argv = argv if argv is not None else sys.argv[1:]
+    show_stats = "--stats" in argv
+    argv = [arg for arg in argv if arg != "--stats"]
     if not argv or argv[0] in ("-h", "--help"):
-        print("usage: python -m repro.experiments.runner <experiment-id>...")
+        print(
+            "usage: python -m repro.experiments.runner "
+            "[--stats] <experiment-id>..."
+        )
         print("known experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
     for experiment_id in argv:
-        result = run_experiment(experiment_id)
+        # Each experiment gets a fresh context (a fresh chip-day) so the
+        # per-experiment executor ledger is attributable to it alone.
+        context = ExperimentContext.create() if show_stats else None
+        result = run_experiment(experiment_id, context=context)
         print(result.to_text())
+        if context is not None:
+            print("--- execution-service stats ---")
+            print(context.executor.stats.to_text())
         print()
     return 0
 

@@ -11,9 +11,11 @@
 * :mod:`~repro.sim.sampler` — counts/distribution utilities.
 """
 
+from .channel_cache import ChannelCache
 from .channels import (
     KrausChannel,
     ReadoutError,
+    Superoperator,
     amplitude_damping_channel,
     compose_channels,
     depolarizing_channel,
@@ -40,8 +42,10 @@ from .stabilizer import StabilizerSimulator, StabilizerTableau
 from .statevector import StatevectorSimulator, StateVector, ideal_distribution
 
 __all__ = [
+    "ChannelCache",
     "KrausChannel",
     "ReadoutError",
+    "Superoperator",
     "identity_channel",
     "unitary_channel",
     "depolarizing_channel",

@@ -1,0 +1,83 @@
+"""Memoization of noise-channel construction, invalidated by drift.
+
+Building a gate's noise tail — coherent-error unitaries, depolarizing
+Kraus sets, thermal-relaxation channels, and the fused per-gate
+superoperators derived from them — is pure in the device's *current*
+noise parameters: the same parameter values always produce the same
+operators. The device therefore memoizes those constructions here and
+clears the cache whenever :meth:`~repro.device.device.RigettiAspenDevice.
+advance_time` moves the parameters (each such move bumps the device's
+``drift_epoch``), so a cached entry can never outlive the parameter
+values it was built from.
+
+The cache is deliberately generic — ``get(key, factory)`` — so it lives
+below both the device layer (which knows the physics constructors) and
+the execution layer (which reports its hit rates through
+``ExecutorStats``) without importing either.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+__all__ = ["ChannelCache"]
+
+#: Entries kept before the cache evicts itself wholesale. Generous: a
+#: full Aspen-M-1 device has ~100 (link, gate) pairs and ~80 qubits.
+_DEFAULT_MAX_ENTRIES = 8192
+
+
+class ChannelCache:
+    """A drift-aware memo table for channel/superoperator construction.
+
+    Attributes:
+        hits / misses: Lookup counters since construction (never reset
+            by invalidation, so throughput studies can integrate them).
+        invalidations: How many times the cache was cleared by drift.
+        epoch: The drift epoch the current entries were built under.
+    """
+
+    def __init__(self, max_entries: int = _DEFAULT_MAX_ENTRIES) -> None:
+        self._entries: Dict[Hashable, Any] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.epoch = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value for *key*, building it on first use."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            if len(self._entries) >= self._max_entries:
+                self._entries.clear()
+            value = factory()
+            self._entries[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def invalidate(self, epoch: int) -> None:
+        """Drop every entry: the parameters they encode no longer hold."""
+        if self._entries:
+            self._entries.clear()
+        self.invalidations += 1
+        self.epoch = epoch
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "invalidations": self.invalidations,
+            "epoch": self.epoch,
+        }
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

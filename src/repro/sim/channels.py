@@ -24,6 +24,7 @@ from ..linalg import kron_n
 
 __all__ = [
     "KrausChannel",
+    "Superoperator",
     "identity_channel",
     "unitary_channel",
     "depolarizing_channel",
@@ -85,6 +86,92 @@ class KrausChannel:
             tuple(op @ unitary for op in self.operators),
             label=f"{self.label}∘U",
         )
+
+
+@dataclass(frozen=True)
+class Superoperator:
+    """A channel as a dense linear map on vectorized density matrices.
+
+    ``rho' = K rho K^dag`` summed over Kraus operators is linear in
+    ``rho``; flattening ``rho`` row-major turns the channel into one
+    ``d^2 x d^2`` matrix ``S = sum_i K_i (x) conj(K_i)``. Applying ``S``
+    costs a single tensor contraction regardless of how many Kraus
+    operators the channel has — this is the representation the device's
+    channel cache stores for its fused per-gate fast path. Sequential
+    channels compose by matrix product, so a gate's ideal unitary and
+    its whole noise tail collapse into one operator.
+
+    Attributes:
+        matrix: The ``4^k x 4^k`` superoperator for a *k*-qubit map.
+        label: Human-readable provenance for reports.
+    """
+
+    matrix: np.ndarray
+    label: str = "superop"
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension ``d`` (the matrix is ``d^2 x d^2``)."""
+        return int(round(math.sqrt(self.matrix.shape[0])))
+
+    @property
+    def num_qubits(self) -> int:
+        return int(math.log2(self.dim))
+
+    @classmethod
+    def from_kraus(cls, channel: KrausChannel) -> "Superoperator":
+        matrix = sum(
+            np.kron(op, op.conj()) for op in channel.operators
+        )
+        return cls(np.asarray(matrix, dtype=complex), channel.label)
+
+    @classmethod
+    def from_unitary(
+        cls, unitary: np.ndarray, label: str = "unitary"
+    ) -> "Superoperator":
+        unitary = np.asarray(unitary, dtype=complex)
+        return cls(np.kron(unitary, unitary.conj()), label)
+
+    def then(self, later: "Superoperator") -> "Superoperator":
+        """The map applying this superoperator first, then *later*."""
+        if later.matrix.shape != self.matrix.shape:
+            raise SimulationError(
+                "cannot compose superoperators of different dimensions"
+            )
+        return Superoperator(
+            later.matrix @ self.matrix, f"{later.label}∘{self.label}"
+        )
+
+    def embed(self, position: int, num_qubits: int) -> "Superoperator":
+        """Embed a 1-qubit map into a *num_qubits* register at *position*.
+
+        The register superoperator indexes rows by ``(ket_out, bra_out)``
+        and columns by ``(ket_in, bra_in)``, each half big-endian over
+        the qubits. Tensor the per-qubit maps (identity elsewhere) and
+        reorder the axes into that convention.
+        """
+        if self.num_qubits != 1:
+            raise SimulationError("embed expects a single-qubit map")
+        eye = np.eye(2, dtype=complex)
+        # Per-qubit map with axes (ket_out, bra_out, ket_in, bra_in).
+        identity_map = np.einsum("ac,bd->abcd", eye, eye)
+        small = self.matrix.reshape(2, 2, 2, 2)
+        total = None
+        for index in range(num_qubits):
+            block = small if index == position else identity_map
+            total = block if total is None else np.tensordot(
+                total, block, axes=0
+            )
+        # Axes are grouped per qubit (ko_q, bo_q, ki_q, bi_q); reorder to
+        # (ko_0..ko_n, bo_0..bo_n, ki_0..ki_n, bi_0..bi_n).
+        perm = [
+            4 * q + part
+            for part in range(4)
+            for q in range(num_qubits)
+        ]
+        dim = 2**num_qubits
+        matrix = np.transpose(total, perm).reshape(dim * dim, dim * dim)
+        return Superoperator(matrix, f"{self.label}@q{position}")
 
 
 def identity_channel(num_qubits: int = 1) -> KrausChannel:

@@ -22,7 +22,7 @@ import numpy as np
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.gates import Gate
 from ..exceptions import SimulationError
-from .channels import KrausChannel, ReadoutError
+from .channels import KrausChannel, ReadoutError, Superoperator
 
 __all__ = ["DensityMatrix", "DensityMatrixSimulator"]
 
@@ -109,6 +109,24 @@ class DensityMatrix:
         assert accumulated is not None
         self._tensor = accumulated
 
+    def apply_superoperator(
+        self, superop: Superoperator, qubits: Tuple[int, ...]
+    ) -> None:
+        """Apply a vectorized channel in one contraction.
+
+        The superoperator's row/column halves are (ket, bra) pairs, so
+        contracting it against the state's ket axes *and* bra axes of
+        the acted-on qubits applies the whole channel — however many
+        Kraus operators it was fused from — in a single tensordot.
+        """
+        if superop.num_qubits != len(qubits):
+            raise SimulationError(
+                f"superoperator acts on {superop.num_qubits} qubits, "
+                f"given {len(qubits)}"
+            )
+        axes = tuple(qubits) + tuple(q + self.num_qubits for q in qubits)
+        self._apply_left(superop.matrix, axes)
+
     def probabilities(self, qubits: Optional[Iterable[int]] = None) -> np.ndarray:
         """Diagonal (measurement) probabilities over *qubits*.
 
@@ -136,20 +154,43 @@ class DensityMatrixSimulator:
     maps each instruction to the channels to apply after it. The device
     model (:mod:`repro.device`) provides that callback from its calibrated
     physics; tests can inject hand-built channels.
+
+    An optional ``operation_compiler`` short-circuits the per-gate path:
+    given an instruction it may return a full replacement sequence of
+    ``(operator, qubits)`` pairs — ideal unitary *included* — where each
+    operator is a :class:`~repro.sim.channels.Superoperator`,
+    :class:`~repro.sim.channels.KrausChannel`, or plain unitary matrix.
+    Returning ``None`` falls back to ``apply_gate`` + ``noise_callback``
+    for that instruction. The device's channel cache uses this hook to
+    execute each gate-plus-noise as one fused contraction.
     """
 
-    def __init__(self, noise_callback=None) -> None:
+    def __init__(self, noise_callback=None, operation_compiler=None) -> None:
         self.noise_callback = noise_callback
+        self.operation_compiler = operation_compiler
 
     def run(self, circuit: QuantumCircuit) -> DensityMatrix:
         """Evolve |0..0><0..0| through the circuit's unitary part."""
         state = DensityMatrix(circuit.num_qubits)
+        compiler = self.operation_compiler
         for gate in circuit:
-            if gate.is_unitary:
-                state.apply_gate(gate)
-                if self.noise_callback is not None:
-                    for channel, qubits in self.noise_callback(gate):
-                        state.apply_channel(channel, tuple(qubits))
+            if not gate.is_unitary:
+                continue
+            if compiler is not None:
+                operations = compiler(gate)
+                if operations is not None:
+                    for operator, qubits in operations:
+                        if isinstance(operator, Superoperator):
+                            state.apply_superoperator(operator, tuple(qubits))
+                        elif isinstance(operator, KrausChannel):
+                            state.apply_channel(operator, tuple(qubits))
+                        else:
+                            state.apply_unitary(operator, tuple(qubits))
+                    continue
+            state.apply_gate(gate)
+            if self.noise_callback is not None:
+                for channel, qubits in self.noise_callback(gate):
+                    state.apply_channel(channel, tuple(qubits))
         return state
 
     def distribution(
