@@ -81,6 +81,13 @@ from .metrics import (
     total_variation_distance,
 )
 from .programs import benchmark_suite, get_benchmark, ghz
+from .service import (
+    CloudQPUService,
+    FaultProfile,
+    RemoteBackend,
+    RetryPolicy,
+    fault_profile,
+)
 
 __all__ = [
     "__version__",
@@ -119,6 +126,12 @@ __all__ = [
     "BatchExecutor",
     "ExecutorStats",
     "get_executor",
+    # cloud QPU service emulation
+    "CloudQPUService",
+    "FaultProfile",
+    "fault_profile",
+    "RemoteBackend",
+    "RetryPolicy",
     # metrics
     "success_rate",
     "success_rate_from_counts",

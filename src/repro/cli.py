@@ -28,6 +28,7 @@ from .exec import Job
 from .experiments import ExperimentContext, run_experiment
 from .metrics import success_rate_from_counts
 from .programs import benchmark_suite, get_benchmark
+from .service import FAULT_PROFILES
 
 __all__ = ["main", "build_parser"]
 
@@ -47,6 +48,9 @@ def _make_context(args: argparse.Namespace) -> ExperimentContext:
         device_name=args.device,
         seed=args.seed,
         drift_hours=args.drift_hours,
+        backend=getattr(args, "backend", "local"),
+        fault_profile=getattr(args, "fault_profile", "none"),
+        fault_seed=getattr(args, "fault_seed", 0),
     )
 
 
@@ -65,6 +69,25 @@ def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=30.0,
         help="hours of drift since the last full calibration",
+    )
+    parser.add_argument(
+        "--backend",
+        default="local",
+        choices=("local", "remote"),
+        help="run jobs on the in-process device or through the "
+        "emulated cloud QPU service (repro.service)",
+    )
+    parser.add_argument(
+        "--fault-profile",
+        default="none",
+        choices=sorted(FAULT_PROFILES),
+        help="cloud-service fault injection preset (remote backend)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the service fault stream and backoff jitter",
     )
 
 
@@ -142,6 +165,11 @@ def _command_compile(args: argparse.Namespace) -> int:
             f"ANGEL: {result.copycats_executed} CopyCat probes; "
             f"{result.reference_sequence.label()} -> {sequence.label()}"
         )
+        if result.degraded_links:
+            print(
+                f"degraded links (probe failures; calibration choice "
+                f"kept): {sorted(result.degraded_links)}"
+            )
     elif args.policy == "baseline":
         from .core import noise_adaptive_sequence
 

@@ -89,6 +89,10 @@ class AngelResult:
         trace: Full probe audit trail.
         copycats_executed: Number of device jobs spent probing
             (``1 + 2L`` with all gates available).
+        degraded_links: Links whose probe jobs failed permanently (a
+            flaky remote backend) and therefore kept the
+            calibration-fidelity gate choice; empty on a healthy
+            backend.
     """
 
     sequence: NativeGateSequence
@@ -97,6 +101,7 @@ class AngelResult:
     copycat_ideal: Dict[str, float]
     trace: SearchTrace
     copycats_executed: int
+    degraded_links: Tuple[Link, ...] = ()
 
 
 class Angel:
@@ -161,7 +166,7 @@ class Angel:
 
         def probe_batch(
             sequences: Sequence[NativeGateSequence],
-        ) -> List[float]:
+        ) -> List[Optional[float]]:
             nonlocal probes_run
             # Nativize the CopyCat circuit itself under each candidate
             # sequence (identical CNOT skeleton -> identical site map).
@@ -177,10 +182,16 @@ class Angel:
                         tag="probe",
                     )
                 )
-            results = self.executor.submit_batch(jobs)
+            # allow_failures: a probe job a resilient backend gave up on
+            # comes back as None and degrades that link's comparison
+            # instead of aborting the whole search. The budget is spent
+            # either way, preserving the 1 + 2L accounting.
+            results = self.executor.submit_batch(jobs, allow_failures=True)
             probes_run += len(jobs)
             return [
-                success_rate_from_counts(copycat_ideal, result.counts)
+                None
+                if result is None
+                else success_rate_from_counts(copycat_ideal, result.counts)
                 for result in results
             ]
 
@@ -192,6 +203,9 @@ class Angel:
             max_passes=self.config.max_passes,
             batch_probe=probe_batch,
         )
+        degraded = tuple(trace.degraded_links)
+        if degraded:
+            self.executor.stats.fallbacks += len(degraded)
         return AngelResult(
             sequence=best,
             reference_sequence=reference,
@@ -199,6 +213,7 @@ class Angel:
             copycat_ideal=copycat_ideal,
             trace=trace,
             copycats_executed=probes_run,
+            degraded_links=degraded,
         )
 
     def compile_and_select(

@@ -31,18 +31,28 @@ from .sequence import NativeGateSequence
 __all__ = ["ProbeRecord", "SearchTrace", "localized_search"]
 
 ProbeFunction = Callable[[NativeGateSequence], float]
-BatchProbeFunction = Callable[[Sequence[NativeGateSequence]], List[float]]
+#: A batch probe returns one rate per sequence, ``None`` marking a probe
+#: job that failed permanently (e.g. through a flaky remote backend).
+BatchProbeFunction = Callable[
+    [Sequence[NativeGateSequence]], List[Optional[float]]
+]
 
 
 @dataclass(frozen=True)
 class ProbeRecord:
-    """One probe execution during the search."""
+    """One probe execution during the search.
+
+    A *failed* probe is a candidate whose device job never produced
+    counts (retry exhaustion on a remote backend); its ``success_rate``
+    is NaN and it can never be adopted.
+    """
 
     sequence: NativeGateSequence
     success_rate: float
     link: Optional[Link]
     role: str  # "reference" | "candidate"
     accepted: bool
+    failed: bool = False
 
 
 @dataclass
@@ -51,10 +61,18 @@ class SearchTrace:
 
     probes: List[ProbeRecord] = field(default_factory=list)
     reference_history: List[NativeGateSequence] = field(default_factory=list)
+    #: Links whose probing was impaired by failed jobs and therefore
+    #: kept the calibration-fidelity (reference) gate choice.
+    degraded_links: List[Link] = field(default_factory=list)
 
     @property
     def num_probes(self) -> int:
         return len(self.probes)
+
+    @property
+    def num_failed(self) -> int:
+        """Probe jobs that failed permanently (no counts returned)."""
+        return sum(1 for p in self.probes if p.failed)
 
     @property
     def num_updates(self) -> int:
@@ -62,9 +80,10 @@ class SearchTrace:
         return sum(1 for p in self.probes if p.accepted and p.role == "candidate")
 
     def best(self) -> ProbeRecord:
-        if not self.probes:
+        measured = [p for p in self.probes if not p.failed]
+        if not measured:
             raise SearchError("empty search trace")
-        return max(self.probes, key=lambda p: p.success_rate)
+        return max(measured, key=lambda p: p.success_rate)
 
 
 def localized_search(
@@ -95,7 +114,17 @@ def localized_search(
             The search only ever batches *within* one link's candidate
             set — the continuous reference update happens between links,
             so batched and one-at-a-time probing are semantically
-            identical.
+            identical. A returned rate may be ``None``: that probe job
+            failed permanently (remote backend gave up on it).
+
+    Failure semantics (graceful degradation): a failed candidate probe
+    simply cannot win its link; if *every* alternative on a link failed,
+    or the reference itself was never measured, the link keeps the
+    current reference gate — which, absent earlier wins on that same
+    link, is the calibration-fidelity (noise-adaptive) choice — and is
+    recorded in ``trace.degraded_links``. The probe *budget* is spent
+    identically either way (``1 + sum(|options|-1)`` submissions per
+    pass), so Table II's accounting survives a flaky service.
 
     Returns:
         ``(best_sequence, trace)`` — the final reference and the full
@@ -123,8 +152,16 @@ def localized_search(
     trace = SearchTrace()
     reference = initial
     reference_sr = evaluate([reference])[0]
+    reference_failed = reference_sr is None
     trace.probes.append(
-        ProbeRecord(reference, reference_sr, None, "reference", True)
+        ProbeRecord(
+            reference,
+            float("nan") if reference_failed else reference_sr,
+            None,
+            "reference",
+            True,
+            failed=reference_failed,
+        )
     )
     trace.reference_history.append(reference)
 
@@ -151,14 +188,33 @@ def localized_search(
                     f"{len(candidates)} candidates"
                 )
             for candidate, candidate_sr in zip(candidates, rates):
+                probe_failed = candidate_sr is None
                 records.append(
                     ProbeRecord(
-                        candidate, candidate_sr, link, "candidate", False
+                        candidate,
+                        float("nan") if probe_failed else candidate_sr,
+                        link,
+                        "candidate",
+                        False,
+                        failed=probe_failed,
                     )
                 )
-                if candidate_sr > best_candidate_sr:
+                # A candidate can only win if both it and the working
+                # reference were actually measured.
+                if (
+                    not probe_failed
+                    and reference_sr is not None
+                    and candidate_sr > best_candidate_sr
+                ):
                     best_candidate = candidate
                     best_candidate_sr = candidate_sr
+            if alternatives and (
+                reference_sr is None or all(r is None for r in rates)
+            ):
+                # Degraded: no comparison was possible on this link; the
+                # reference (calibration-fidelity) choice stands.
+                if link not in trace.degraded_links:
+                    trace.degraded_links.append(link)
             if best_candidate is not None:
                 # Continuous update: adopt before visiting the next link.
                 records = [
@@ -168,6 +224,7 @@ def localized_search(
                         r.link,
                         r.role,
                         r.sequence == best_candidate,
+                        failed=r.failed,
                     )
                     for r in records
                 ]

@@ -59,6 +59,17 @@ class ExecutionError(ReproError):
     """Invalid job submission or execution-service misconfiguration."""
 
 
+class ServiceError(ExecutionError):
+    """A fault raised by the emulated cloud QPU service layer.
+
+    Subclasses in :mod:`repro.service.errors` distinguish *transient*
+    faults (retryable: rejections, timeouts, lost results, recalibration
+    windows, rate limits) from the terminal :class:`~repro.service.
+    errors.JobFailedError` a resilient client reports once its retry
+    budget, deadline, or circuit breaker gives up on a job.
+    """
+
+
 class SearchError(ReproError):
     """The ANGEL search was configured inconsistently.
 

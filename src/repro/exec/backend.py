@@ -25,6 +25,8 @@ several simulated chips without touching the algorithm layer.
 
 from __future__ import annotations
 
+import warnings
+from pickle import PicklingError
 from typing import Dict, List, Optional, Protocol, Sequence, TYPE_CHECKING
 
 import numpy as np
@@ -72,11 +74,19 @@ def _worker_distribution(circuit) -> Dict[str, float]:  # pragma: no cover
     return _WORKER_DEVICE.noisy_distribution(circuit)
 
 
+# Warn at most once per process when the pool path degrades in-process;
+# every occurrence is still counted in ``LocalBackend.pool_fallbacks``.
+_POOL_FALLBACK_WARNED = False
+
+
 class LocalBackend:
     """A Backend wrapping the in-process simulated Aspen device."""
 
     def __init__(self, device: "RigettiAspenDevice") -> None:
         self.device = device
+        #: Parallel batches that fell back to in-process computation
+        #: because a process pool could not be created or fed.
+        self.pool_fallbacks = 0
 
     @property
     def name(self) -> str:
@@ -158,9 +168,9 @@ class LocalBackend:
                 self.device.noisy_distribution(job.circuit) for job in jobs
             ]
         try:
-            from concurrent.futures import ProcessPoolExecutor
+            import concurrent.futures
 
-            with ProcessPoolExecutor(
+            with concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers,
                 initializer=_init_worker,
                 initargs=(self.device,),
@@ -171,9 +181,21 @@ class LocalBackend:
                         [job.circuit for job in jobs],
                     )
                 )
-        except Exception:
+        except (OSError, PicklingError, ImportError) as exc:
             # Pool creation/pickling can fail in sandboxed environments;
-            # the snapshot semantics do not depend on parallelism.
+            # the snapshot semantics do not depend on parallelism. Any
+            # other exception is a real simulation error and propagates.
+            global _POOL_FALLBACK_WARNED
+            self.pool_fallbacks += 1
+            if not _POOL_FALLBACK_WARNED:
+                _POOL_FALLBACK_WARNED = True
+                warnings.warn(
+                    "process pool unavailable "
+                    f"({type(exc).__name__}: {exc}); computing batch "
+                    "distributions in-process (counted in pool_fallbacks)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return [
                 self.device.noisy_distribution(job.circuit) for job in jobs
             ]
@@ -183,5 +205,14 @@ class LocalBackend:
         """Channel-cache counters, for executor instrumentation."""
         cache = self.device.channel_cache
         if cache is None:
-            return {"hits": 0, "misses": 0, "entries": 0, "invalidations": 0}
-        return cache.stats()
+            stats = {
+                "hits": 0,
+                "misses": 0,
+                "entries": 0,
+                "evictions": 0,
+                "invalidations": 0,
+            }
+        else:
+            stats = cache.stats()
+        stats["pool_fallbacks"] = self.pool_fallbacks
+        return stats

@@ -53,6 +53,18 @@ class ExecutorStats:
     wall_time_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Transient-fault resubmissions performed by a resilient backend.
+    retries: int = 0
+    #: Jobs that failed permanently (retry budget/deadline/breaker).
+    job_failures: int = 0
+    #: Circuit-breaker trips observed at the backend.
+    breaker_trips: int = 0
+    #: Search-level degradations: links whose probe jobs failed and fell
+    #: back to the calibration-fidelity choice (recorded by ANGEL).
+    fallbacks: int = 0
+    #: Parallel batches that lost their process pool and degraded to
+    #: in-process computation (LocalBackend).
+    pool_fallbacks: int = 0
     jobs_by_tag: Dict[str, int] = field(default_factory=dict)
     shots_by_tag: Dict[str, int] = field(default_factory=dict)
     wall_time_by_tag_s: Dict[str, float] = field(default_factory=dict)
@@ -92,6 +104,11 @@ class ExecutorStats:
             "wall_time_s": self.wall_time_s,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "retries": self.retries,
+            "job_failures": self.job_failures,
+            "breaker_trips": self.breaker_trips,
+            "fallbacks": self.fallbacks,
+            "pool_fallbacks": self.pool_fallbacks,
             "jobs_by_tag": dict(self.jobs_by_tag),
             "shots_by_tag": dict(self.shots_by_tag),
             "wall_time_by_tag_s": dict(self.wall_time_by_tag_s),
@@ -106,6 +123,20 @@ class ExecutorStats:
             f"channel cache: {self.cache_hits} hits / "
             f"{self.cache_misses} misses",
         ]
+        if (
+            self.retries
+            or self.job_failures
+            or self.breaker_trips
+            or self.fallbacks
+            or self.pool_fallbacks
+        ):
+            lines.append(
+                f"reliability: {self.retries} retries, "
+                f"{self.job_failures} job failures, "
+                f"{self.breaker_trips} breaker trips, "
+                f"{self.fallbacks} degraded links, "
+                f"{self.pool_fallbacks} pool fallbacks"
+            )
         for tag in sorted(self.jobs_by_tag):
             lines.append(
                 f"  {tag}: {self.jobs_by_tag[tag]} jobs, "
@@ -145,31 +176,68 @@ class BatchExecutor:
             return {"hits": 0, "misses": 0}
         return probe()
 
+    def _reliability_counters(self) -> Dict[str, int]:
+        probe = getattr(self.backend, "reliability_stats", None)
+        if probe is None:
+            return {}
+        return probe()
+
     def submit(self, job: Job) -> JobResult:
         """Run one job immediately; returns its result."""
         return self.submit_batch([job])[0]
 
-    def submit_batch(self, jobs: Sequence[Job]) -> List[JobResult]:
-        """Run a batch of jobs; results come back in submission order."""
+    def submit_batch(
+        self, jobs: Sequence[Job], allow_failures: bool = False
+    ) -> List[Optional[JobResult]]:
+        """Run a batch of jobs; results come back in submission order.
+
+        With ``allow_failures`` and a backend that supports per-job
+        failure reporting (``submit_batch_tolerant``, e.g. the remote
+        backend), permanently failed jobs come back as ``None`` slots
+        instead of raising — the caller decides how to degrade. Without
+        it, a backend that cannot fail per-job (the local device) is
+        submitted normally and every slot is a result.
+        """
         if not jobs:
             return []
         jobs = [
             job if job.job_id else job.with_id(self._next_id(job.tag))
             for job in jobs
         ]
+        tolerant = (
+            getattr(self.backend, "submit_batch_tolerant", None)
+            if allow_failures
+            else None
+        )
         before = self._cache_counters()
+        reliability_before = self._reliability_counters()
         start = time.perf_counter()
-        results = self.backend.submit_batch(
+        submit = tolerant if tolerant is not None else self.backend.submit_batch
+        results = submit(
             jobs,
             parallel=(self.mode == "parallel" and len(jobs) > 1),
             max_workers=self.max_workers,
         )
         elapsed = time.perf_counter() - start
         after = self._cache_counters()
-        self.stats.record(results, elapsed, batch=len(jobs) > 1)
+        reliability_after = self._reliability_counters()
+        completed = [result for result in results if result is not None]
+        self.stats.record(completed, elapsed, batch=len(jobs) > 1)
         self.stats.cache_hits += after["hits"] - before["hits"]
         self.stats.cache_misses += after["misses"] - before["misses"]
-        return results
+        self.stats.pool_fallbacks += after.get(
+            "pool_fallbacks", 0
+        ) - before.get("pool_fallbacks", 0)
+        self.stats.retries += reliability_after.get(
+            "retries", 0
+        ) - reliability_before.get("retries", 0)
+        self.stats.job_failures += reliability_after.get(
+            "failures", 0
+        ) - reliability_before.get("failures", 0)
+        self.stats.breaker_trips += reliability_after.get(
+            "breaker_trips", 0
+        ) - reliability_before.get("breaker_trips", 0)
+        return list(results)
 
 
 # One executor per device so that every caller (ANGEL, CDR, calibration,

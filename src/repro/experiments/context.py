@@ -23,6 +23,13 @@ from ..device.topology import Link
 from ..exceptions import ReproError
 from ..exec import BatchExecutor, Job, get_executor
 from ..metrics import success_rate
+from ..service import (
+    CloudQPUService,
+    FaultProfile,
+    RemoteBackend,
+    RetryPolicy,
+    fault_profile as resolve_fault_profile,
+)
 
 __all__ = ["ExperimentContext"]
 
@@ -38,11 +45,24 @@ class ExperimentContext:
         service: The calibration service publishing (possibly stale)
             records for it.
         rng: Experiment-level randomness (seeded).
+        backend_name: ``"local"`` (in-process device, the default) or
+            ``"remote"`` (through the emulated cloud QPU service).
+        fault_profile: Resolved fault profile for the remote backend.
+        fault_seed: Seed for the service's fault stream and the remote
+            backend's backoff jitter.
+        retry_policy: Remote-client resilience tunables (None = default).
     """
 
     device: RigettiAspenDevice
     service: CalibrationService
     rng: np.random.Generator
+    backend_name: str = "local"
+    fault_profile: Optional[FaultProfile] = None
+    fault_seed: int = 0
+    retry_policy: Optional[RetryPolicy] = None
+    _remote_executor: Optional[BatchExecutor] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def calibration(self) -> CalibrationData:
@@ -59,6 +79,10 @@ class ExperimentContext:
         profile: NoiseProfile = DEFAULT_PROFILE,
         idle_noise: bool = False,
         crosstalk_zz: float = 0.0,
+        backend: str = "local",
+        fault_profile: object = "none",
+        fault_seed: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "ExperimentContext":
         """Build a device and age it under the calibration cadence.
 
@@ -74,6 +98,14 @@ class ExperimentContext:
             drift_step_hours: Clock step between cadence checks.
             idle_noise / crosstalk_zz: Optional extra device physics
                 (see :class:`~repro.device.device.RigettiAspenDevice`).
+            backend: ``"local"`` or ``"remote"`` — whether jobs go
+                straight to the device or through the emulated cloud
+                QPU service (:mod:`repro.service`).
+            fault_profile: A preset name (``none``/``light``/``heavy``/
+                ``flaky``) or a :class:`~repro.service.FaultProfile`;
+                only meaningful with ``backend="remote"``.
+            fault_seed: Seed for fault injection and backoff jitter.
+            retry_policy: Remote-client resilience tunables.
         """
         if device_name == "aspen-11":
             device = aspen11(
@@ -91,6 +123,15 @@ class ExperimentContext:
             )
         else:
             raise ReproError(f"unknown device preset {device_name!r}")
+        if backend not in ("local", "remote"):
+            raise ReproError(
+                f"unknown backend {backend!r}; expected 'local' or 'remote'"
+            )
+        resolved_profile = (
+            fault_profile
+            if isinstance(fault_profile, FaultProfile)
+            else resolve_fault_profile(str(fault_profile))
+        )
         service = CalibrationService(device, seed=calibration_seed)
         service.full_calibration()
         elapsed = 0.0
@@ -103,6 +144,10 @@ class ExperimentContext:
             device=device,
             service=service,
             rng=np.random.default_rng(seed * 7919 + calibration_seed),
+            backend_name=backend,
+            fault_profile=resolved_profile,
+            fault_seed=fault_seed,
+            retry_policy=retry_policy,
         )
 
     # ------------------------------------------------------------------
@@ -114,8 +159,27 @@ class ExperimentContext:
 
     @property
     def executor(self) -> BatchExecutor:
-        """The execution service shared by everything using this device."""
-        return get_executor(self.device)
+        """The execution service shared by everything using this device.
+
+        With ``backend_name="remote"`` this is a dedicated executor over
+        a :class:`~repro.service.RemoteBackend` (one cloud service per
+        context); otherwise the device's shared local executor.
+        """
+        if self.backend_name == "local":
+            return get_executor(self.device)
+        if self._remote_executor is None:
+            qpu_service = CloudQPUService(
+                self.device,
+                self.fault_profile if self.fault_profile is not None
+                else resolve_fault_profile("none"),
+                seed=self.fault_seed,
+            )
+            self._remote_executor = BatchExecutor(
+                RemoteBackend(
+                    qpu_service, self.retry_policy, seed=self.fault_seed
+                )
+            )
+        return self._remote_executor
 
     def measured_success_rate(self, circuit, ideal, shots: int) -> float:
         """Shot-based SR of a native circuit (what a user measures)."""

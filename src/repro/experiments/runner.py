@@ -89,25 +89,59 @@ def run_experiment(
     return runner(context=context, **kwargs)
 
 
+def _pop_option(argv: list, name: str, default: str) -> str:
+    """Extract ``--name value`` / ``--name=value`` from argv, in place."""
+    value = default
+    remaining = []
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == name and index + 1 < len(argv):
+            value = argv[index + 1]
+            index += 2
+            continue
+        if arg.startswith(name + "="):
+            value = arg.split("=", 1)[1]
+            index += 1
+            continue
+        remaining.append(arg)
+        index += 1
+    argv[:] = remaining
+    return value
+
+
 def main(argv: Optional[list] = None) -> int:
-    """CLI: ``python -m repro.experiments.runner [--stats] <id>...``."""
-    argv = argv if argv is not None else sys.argv[1:]
+    """CLI: ``python -m repro.experiments.runner [--stats]
+    [--backend local|remote] [--fault-profile NAME] <id>...``."""
+    argv = list(argv) if argv is not None else sys.argv[1:]
     show_stats = "--stats" in argv
     argv = [arg for arg in argv if arg != "--stats"]
+    backend = _pop_option(argv, "--backend", "local")
+    fault_profile = _pop_option(argv, "--fault-profile", "none")
+    fault_seed = int(_pop_option(argv, "--fault-seed", "0"))
     if not argv or argv[0] in ("-h", "--help"):
         print(
-            "usage: python -m repro.experiments.runner "
-            "[--stats] <experiment-id>..."
+            "usage: python -m repro.experiments.runner [--stats] "
+            "[--backend local|remote] [--fault-profile NAME] "
+            "[--fault-seed N] <experiment-id>..."
         )
         print("known experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
     for experiment_id in argv:
         # Each experiment gets a fresh context (a fresh chip-day) so the
         # per-experiment executor ledger is attributable to it alone.
-        context = ExperimentContext.create() if show_stats else None
+        context = (
+            ExperimentContext.create(
+                backend=backend,
+                fault_profile=fault_profile,
+                fault_seed=fault_seed,
+            )
+            if show_stats or backend != "local"
+            else None
+        )
         result = run_experiment(experiment_id, context=context)
         print(result.to_text())
-        if context is not None:
+        if context is not None and show_stats:
             print("--- execution-service stats ---")
             print(context.executor.stats.to_text())
         print()

@@ -1,0 +1,47 @@
+"""Cloud-QPU service emulation: the unreliable path to the device.
+
+The paper's workflow ran through a queued cloud service (Amazon Braket),
+not a bench instrument. This package models that front door —
+:class:`CloudQPUService` injects seeded submission latency, calibration
+windows, rate limits, and transient faults in front of the simulated
+device — and the client that survives it: :class:`RemoteBackend`
+implements the :class:`~repro.exec.backend.Backend` protocol with
+retries, backoff + jitter, per-job deadlines, a circuit breaker, and
+partial-batch recovery, so everything above the execution seam (ANGEL,
+CDR, the experiments, the CLI) runs unchanged against a flaky cloud.
+
+See ``docs/architecture.md`` ("Service layer & failure semantics") for
+how failures propagate up to ANGEL's graceful degradation.
+"""
+
+from .cloud import BatchOutcome, CloudQPUService, ServiceStats
+from .errors import (
+    JobFailedError,
+    JobRejectedError,
+    JobTimeoutError,
+    RateLimitError,
+    ResultLostError,
+    ServiceUnavailableError,
+    TransientServiceError,
+)
+from .faults import FAULT_PROFILES, FaultProfile, ZERO_FAULTS, fault_profile
+from .remote import RemoteBackend, RetryPolicy
+
+__all__ = [
+    "BatchOutcome",
+    "CloudQPUService",
+    "ServiceStats",
+    "FaultProfile",
+    "FAULT_PROFILES",
+    "ZERO_FAULTS",
+    "fault_profile",
+    "RemoteBackend",
+    "RetryPolicy",
+    "TransientServiceError",
+    "JobRejectedError",
+    "JobTimeoutError",
+    "ResultLostError",
+    "ServiceUnavailableError",
+    "RateLimitError",
+    "JobFailedError",
+]

@@ -1,0 +1,88 @@
+"""Typed failures of the emulated cloud QPU service.
+
+The split is by *retryability*. :class:`TransientServiceError` subclasses
+model faults a well-behaved client is expected to absorb — resubmit after
+a backoff and the job may well succeed. :class:`JobFailedError` is the
+terminal verdict the :class:`~repro.service.remote.RemoteBackend` hands
+to the execution layer once its retry budget, per-job deadline, or
+circuit breaker says stop; callers above the seam (the executor, ANGEL's
+search) decide whether that aborts the run or degrades it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..exceptions import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.job import Job
+
+__all__ = [
+    "TransientServiceError",
+    "JobRejectedError",
+    "JobTimeoutError",
+    "ResultLostError",
+    "ServiceUnavailableError",
+    "RateLimitError",
+    "JobFailedError",
+]
+
+
+class TransientServiceError(ServiceError):
+    """A retryable service fault: resubmitting the job may succeed.
+
+    Attributes:
+        retry_after_us: Service hint for the minimum simulated-time wait
+            before a resubmission can succeed (0 when the fault carries
+            no such structure, e.g. a random rejection).
+    """
+
+    def __init__(self, message: str, retry_after_us: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_us = retry_after_us
+
+
+class JobRejectedError(TransientServiceError):
+    """The queue bounced the submission; no device time was spent."""
+
+
+class JobTimeoutError(TransientServiceError):
+    """The job overran its execution slot; device time was burned but
+    the service returned no result."""
+
+
+class ResultLostError(TransientServiceError):
+    """The job executed but its result was lost in transit (also raised
+    for the dropped suffix of a partial batch failure)."""
+
+
+class ServiceUnavailableError(TransientServiceError):
+    """The device is between calibration windows (recalibrating)."""
+
+
+class RateLimitError(TransientServiceError):
+    """The submission quota for the current window is exhausted."""
+
+
+class JobFailedError(ServiceError):
+    """A job failed *permanently* from the client's point of view.
+
+    Raised by :class:`~repro.service.remote.RemoteBackend` after retry
+    exhaustion, a blown per-job deadline, or a fast-fail while the
+    circuit breaker is open.
+
+    Attributes:
+        job: The job that failed (when known).
+        cause: The last transient fault observed before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        job: Optional["Job"] = None,
+        cause: Optional[ServiceError] = None,
+    ) -> None:
+        super().__init__(message)
+        self.job = job
+        self.cause = cause

@@ -1,0 +1,156 @@
+"""Fault profiles: how unreliable is the cloud in front of the QPU?
+
+A :class:`FaultProfile` is a frozen, validated bundle of the operational
+hazards the emulated service injects — queue latency, calibration
+windows, per-window rate limits, and per-job/per-batch transient fault
+probabilities. Profiles are pure data: all randomness lives in the
+service's seeded generator, so the same profile + seed always produces
+the same fault sequence.
+
+The named presets cover the spectrum the evaluation needs:
+
+* ``"none"`` — a perfect cloud; :class:`~repro.service.remote.
+  RemoteBackend` under this profile is bit-identical to
+  :class:`~repro.exec.backend.LocalBackend` sequential execution (pinned
+  by ``tests/test_service.py``).
+* ``"light"`` — occasional hiccups, the happy production day.
+* ``"heavy"`` — a congested service with calibration windows and rate
+  limits in play.
+* ``"flaky"`` — >=10% per-job transient failures, the stress profile the
+  graceful-degradation acceptance test runs ANGEL under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..exceptions import ExecutionError
+
+__all__ = ["FaultProfile", "FAULT_PROFILES", "ZERO_FAULTS", "fault_profile"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Operational hazards of the emulated cloud QPU service.
+
+    Attributes:
+        name: Preset name (or any label for ad-hoc profiles).
+        submission_latency_us: Simulated queue wait added (device clock
+            advances, so noise drifts) per submission — once per job for
+            single submissions, once per batch for batch submissions.
+        window_us: Calibration window length. When the device clock
+            crosses a window boundary the service goes unavailable for
+            ``recalibration_us`` (submissions raise
+            :class:`~repro.service.errors.ServiceUnavailableError`);
+            drift accrues across the downtime, so every window sees
+            freshly drifted parameters. ``None`` disables windows.
+        recalibration_us: Downtime between consecutive windows.
+        max_jobs_per_window: Submission quota per window (requires
+            ``window_us``); exceeding it raises
+            :class:`~repro.service.errors.RateLimitError` until the next
+            window. ``None`` disables rate limiting.
+        p_reject: Per-job probability the queue bounces the submission
+            before execution (no device time spent).
+        p_timeout: Per-job probability the job overruns its slot — the
+            device time is burned but no result comes back.
+        p_lost_result: Per-job probability the result is lost in
+            transit after a successful execution.
+        p_batch_partial: Per-batch probability that a suffix of the
+            batch is dropped (jobs after a random cut point never
+            execute and report lost results).
+    """
+
+    name: str = "none"
+    submission_latency_us: float = 0.0
+    window_us: Optional[float] = None
+    recalibration_us: float = 0.0
+    max_jobs_per_window: Optional[int] = None
+    p_reject: float = 0.0
+    p_timeout: float = 0.0
+    p_lost_result: float = 0.0
+    p_batch_partial: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "p_reject",
+            "p_timeout",
+            "p_lost_result",
+            "p_batch_partial",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ExecutionError(
+                    f"{field_name} must be a probability, got {value}"
+                )
+        if self.p_reject + self.p_timeout + self.p_lost_result > 1.0:
+            raise ExecutionError(
+                "per-job fault probabilities must sum to at most 1"
+            )
+        if self.submission_latency_us < 0:
+            raise ExecutionError("submission_latency_us must be >= 0")
+        if self.window_us is not None and self.window_us <= 0:
+            raise ExecutionError("window_us must be positive when set")
+        if self.recalibration_us < 0:
+            raise ExecutionError("recalibration_us must be >= 0")
+        if self.max_jobs_per_window is not None:
+            if self.window_us is None:
+                raise ExecutionError(
+                    "max_jobs_per_window requires window_us (the quota "
+                    "resets per window)"
+                )
+            if self.max_jobs_per_window < 1:
+                raise ExecutionError("max_jobs_per_window must be >= 1")
+
+    @property
+    def p_job_fault(self) -> float:
+        """Total per-job transient fault probability."""
+        return self.p_reject + self.p_timeout + self.p_lost_result
+
+    @property
+    def injects_faults(self) -> bool:
+        return self.p_job_fault > 0 or self.p_batch_partial > 0
+
+
+ZERO_FAULTS = FaultProfile(name="none")
+
+FAULT_PROFILES: Dict[str, FaultProfile] = {
+    "none": ZERO_FAULTS,
+    "light": FaultProfile(
+        name="light",
+        submission_latency_us=200.0,
+        p_reject=0.02,
+        p_timeout=0.01,
+        p_lost_result=0.02,
+        p_batch_partial=0.05,
+    ),
+    "heavy": FaultProfile(
+        name="heavy",
+        submission_latency_us=1_000.0,
+        window_us=10_000_000.0,
+        recalibration_us=500_000.0,
+        max_jobs_per_window=256,
+        p_reject=0.05,
+        p_timeout=0.04,
+        p_lost_result=0.05,
+        p_batch_partial=0.15,
+    ),
+    "flaky": FaultProfile(
+        name="flaky",
+        p_reject=0.06,
+        p_timeout=0.03,
+        p_lost_result=0.05,
+        p_batch_partial=0.10,
+    ),
+}
+
+
+def fault_profile(name: str) -> FaultProfile:
+    """Look up a named preset (``none``/``light``/``heavy``/``flaky``)."""
+    try:
+        return FAULT_PROFILES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(FAULT_PROFILES))
+        raise ExecutionError(
+            f"unknown fault profile {name!r}; known: {known}"
+        ) from exc

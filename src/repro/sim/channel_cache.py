@@ -22,8 +22,9 @@ from typing import Any, Callable, Dict, Hashable, Tuple
 
 __all__ = ["ChannelCache"]
 
-#: Entries kept before the cache evicts itself wholesale. Generous: a
-#: full Aspen-M-1 device has ~100 (link, gate) pairs and ~80 qubits.
+#: Entries kept before the cache starts evicting its oldest entry on
+#: each insertion. Generous: a full Aspen-M-1 device has ~100
+#: (link, gate) pairs and ~80 qubits.
 _DEFAULT_MAX_ENTRIES = 8192
 
 
@@ -33,6 +34,8 @@ class ChannelCache:
     Attributes:
         hits / misses: Lookup counters since construction (never reset
             by invalidation, so throughput studies can integrate them).
+        evictions: Entries dropped one at a time to stay within
+            capacity (FIFO: the oldest insertion goes first).
         invalidations: How many times the cache was cleared by drift.
         epoch: The drift epoch the current entries were built under.
     """
@@ -42,6 +45,7 @@ class ChannelCache:
         self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self.invalidations = 0
         self.epoch = 0
 
@@ -49,13 +53,20 @@ class ChannelCache:
         return len(self._entries)
 
     def get(self, key: Hashable, factory: Callable[[], Any]) -> Any:
-        """Return the cached value for *key*, building it on first use."""
+        """Return the cached value for *key*, building it on first use.
+
+        A full cache evicts its oldest entry (insertion order — all
+        entries of one epoch are equally valid, so FIFO is as good as
+        LRU here and needs no bookkeeping) rather than dropping the
+        whole working set.
+        """
         try:
             value = self._entries[key]
         except KeyError:
             self.misses += 1
-            if len(self._entries) >= self._max_entries:
-                self._entries.clear()
+            while len(self._entries) >= self._max_entries:
+                self._entries.pop(next(iter(self._entries)))
+                self.evictions += 1
             value = factory()
             self._entries[key] = value
             return value
@@ -74,6 +85,7 @@ class ChannelCache:
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._entries),
+            "evictions": self.evictions,
             "invalidations": self.invalidations,
             "epoch": self.epoch,
         }

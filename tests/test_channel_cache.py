@@ -47,11 +47,41 @@ class TestChannelCache:
         # Re-population works after invalidation.
         assert cache.get("a", lambda: 3) == 3
 
-    def test_overflow_clears_wholesale(self):
+    def test_overflow_evicts_oldest_not_wholesale(self):
+        """Overflow evicts one oldest entry; the rest stay warm."""
         cache = ChannelCache(max_entries=4)
-        for index in range(5):
-            cache.get(("k", index), lambda: index)
-        assert len(cache) <= 4
+        for index in range(4):
+            cache.get(("k", index), lambda index=index: index)
+        assert len(cache) == 4
+        assert cache.stats()["evictions"] == 0
+        # A fifth insert evicts exactly the oldest key, nothing else.
+        cache.get(("k", 4), lambda: 4)
+        assert len(cache) == 4
+        assert cache.stats()["evictions"] == 1
+        rebuilt = []
+        for index in range(1, 5):
+            cache.get(("k", index), lambda: rebuilt.append(index))
+        assert rebuilt == []  # survivors are all hits
+        cache.get(("k", 0), lambda: rebuilt.append(0))
+        assert rebuilt == [0]  # only the evicted key rebuilds
+
+    def test_eviction_order_is_insertion_order(self):
+        cache = ChannelCache(max_entries=2)
+        cache.get("a", lambda: 1)
+        cache.get("b", lambda: 2)
+        cache.get("c", lambda: 3)  # evicts "a"
+        cache.get("d", lambda: 4)  # evicts "b"
+        assert cache.stats()["evictions"] == 2
+        assert cache.get("c", lambda: -1) == 3
+        assert cache.get("d", lambda: -1) == 4
+
+    def test_invalidation_does_not_count_as_eviction(self):
+        cache = ChannelCache(max_entries=4)
+        cache.get("a", lambda: 1)
+        cache.invalidate(epoch=1)
+        stats = cache.stats()
+        assert stats["invalidations"] == 1
+        assert stats["evictions"] == 0
 
 
 class TestBitIdenticalChannels:

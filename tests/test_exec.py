@@ -120,6 +120,89 @@ class TestLocalBackend:
             results.append([r.counts for r in batch])
         assert results[0] == results[1]
 
+    def test_parallel_batch_seed_none_uses_device_stream(self):
+        """seed=None parallel jobs sample from ``device._sample_rng``:
+        deterministic under a fixed device seed, and consuming the same
+        stream a direct unseeded run would."""
+        results = []
+        for _ in range(2):
+            device, _ = _env(seed=41)
+            jobs = [Job(_native_ghz(device), 100) for _ in range(3)]
+            assert all(job.seed is None for job in jobs)
+            batch = LocalBackend(device).submit_batch(
+                jobs, parallel=True, max_workers=1
+            )
+            results.append([r.counts for r in batch])
+            assert all(
+                sum(r.counts.values()) == 100 for r in batch
+            )
+        assert results[0] == results[1]
+        # A different device seed gives a different unseeded stream.
+        device_c, _ = _env(seed=42)
+        jobs_c = [Job(_native_ghz(device_c), 100) for _ in range(3)]
+        batch_c = LocalBackend(device_c).submit_batch(
+            jobs_c, parallel=True, max_workers=1
+        )
+        assert [r.counts for r in batch_c] != results[0]
+
+    def test_pool_failure_falls_back_in_process(self, monkeypatch):
+        """Pool breakage degrades to in-process, counted and warned once."""
+        import concurrent.futures
+
+        import repro.exec.backend as backend_module
+
+        class _BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process spawning here")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _BrokenPool
+        )
+        monkeypatch.setattr(backend_module, "_POOL_FALLBACK_WARNED", False)
+        device, _ = _env()
+        backend = LocalBackend(device)
+        executor = BatchExecutor(
+            backend, mode="parallel", max_workers=4
+        )
+        jobs = [
+            Job(_native_ghz(device), 50, seed=s, tag="probe")
+            for s in (1, 2)
+        ]
+        with pytest.warns(RuntimeWarning, match="pool unavailable"):
+            results = executor.submit_batch(jobs)
+        assert all(sum(r.counts.values()) == 50 for r in results)
+        assert backend.pool_fallbacks == 1
+        assert backend.cache_stats()["pool_fallbacks"] == 1
+        assert executor.stats.pool_fallbacks == 1
+        assert executor.stats.snapshot()["pool_fallbacks"] == 1
+        # Second fallback: counted again, but no second warning.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            executor.submit_batch(
+                [Job(_native_ghz(device), 50, seed=s) for s in (3, 4)]
+            )
+        assert backend.pool_fallbacks == 2
+
+    def test_pool_real_errors_propagate(self, monkeypatch):
+        """Non-environment exceptions are not swallowed by the fallback."""
+        import concurrent.futures
+
+        class _ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise ValueError("a real bug, not a sandbox")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _ExplodingPool
+        )
+        device, _ = _env()
+        backend = LocalBackend(device)
+        jobs = [Job(_native_ghz(device), 50, seed=s) for s in (1, 2)]
+        with pytest.raises(ValueError):
+            backend.submit_batch(jobs, parallel=True, max_workers=4)
+        assert backend.pool_fallbacks == 0
+
 
 class TestBatchExecutor:
     def test_rejects_unknown_mode(self):

@@ -149,3 +149,119 @@ class TestSearchValidation:
 
         with pytest.raises(SearchError):
             SearchTrace().best()
+
+
+def _failing_batch(per_link_scores, fail_when):
+    """A batch probe returning ``None`` when ``fail_when(sequence)``."""
+    score = _scoring(per_link_scores)
+
+    def batch(sequences):
+        return [
+            None if fail_when(s) else score(s) for s in sequences
+        ]
+
+    return batch
+
+
+class TestFailedProbes:
+    SCORES = {
+        ((0, 1), "xy"): 0.9,
+        ((0, 1), "cz"): 0.1,
+        ((0, 1), "cphase"): 0.2,
+        ((1, 2), "xy"): 0.8,
+        ((1, 2), "cz"): 0.1,
+        ((1, 2), "cphase"): 0.3,
+    }
+
+    def test_failed_candidate_cannot_win_its_link(self):
+        """xy would win (0, 1), but its probe failed => cz stands."""
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        batch = _failing_batch(
+            self.SCORES,
+            lambda s: s.gates_on_link((0, 1))[0] == "xy",
+        )
+        best, trace = localized_search(
+            None, initial, OPTIONS, batch_probe=batch
+        )
+        assert best.gates_on_link((0, 1))[0] != "xy"
+        # The other alternative (cphase, 0.2 > 0.1) still wins fairly,
+        # so the link is impaired but NOT degraded.
+        assert best.gates_on_link((0, 1))[0] == "cphase"
+        assert (0, 1) not in trace.degraded_links
+        # The losing link's other candidates were unaffected.
+        assert best.gates_on_link((1, 2))[0] == "xy"
+        assert trace.num_failed == 1
+        failed = [p for p in trace.probes if p.failed]
+        assert len(failed) == 1
+        assert failed[0].link == (0, 1)
+        assert failed[0].success_rate != failed[0].success_rate  # NaN
+
+    def test_all_alternatives_failed_degrades_link(self):
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        batch = _failing_batch(
+            self.SCORES,
+            lambda s: s.gates_on_link((0, 1))[0] != "cz",
+        )
+        best, trace = localized_search(
+            None, initial, OPTIONS, batch_probe=batch
+        )
+        # Degraded link keeps the reference (calibration-fidelity) gate.
+        assert best.gates_on_link((0, 1))[0] == "cz"
+        assert trace.degraded_links == [(0, 1)]
+        assert trace.num_failed == 2
+        # The healthy link still searched normally.
+        assert best.gates_on_link((1, 2))[0] == "xy"
+        # Budget spent identically: 1 + 2L probes submitted.
+        assert trace.num_probes == 5
+
+    def test_failed_reference_degrades_every_link(self):
+        """An unmeasured reference means no adoption is possible."""
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        calls = {"n": 0}
+
+        def batch(sequences):
+            calls["n"] += 1
+            if calls["n"] == 1:  # the reference probe
+                return [None] * len(sequences)
+            return [_scoring(self.SCORES)(s) for s in sequences]
+
+        best, trace = localized_search(
+            None, initial, OPTIONS, batch_probe=batch
+        )
+        assert best.gates == initial.gates
+        assert set(trace.degraded_links) == set(OPTIONS)
+        assert trace.num_updates == 0
+        assert trace.probes[0].failed
+        # best() skips failed probes even when the reference failed.
+        assert not trace.best().failed
+
+    def test_all_probes_failed_best_raises(self):
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        batch = _failing_batch(self.SCORES, lambda s: True)
+        best, trace = localized_search(
+            None, initial, OPTIONS, batch_probe=batch
+        )
+        assert best.gates == initial.gates
+        assert trace.num_failed == trace.num_probes == 5
+        with pytest.raises(SearchError):
+            trace.best()
+
+    def test_degraded_links_not_duplicated_across_passes(self):
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        scores = dict(self.SCORES)
+        batch = _failing_batch(
+            scores, lambda s: s.gates_on_link((0, 1))[0] != "cz"
+        )
+        _, trace = localized_search(
+            None, initial, OPTIONS, batch_probe=batch, max_passes=3
+        )
+        assert trace.degraded_links.count((0, 1)) == 1
+
+    def test_batch_length_mismatch_raises(self):
+        initial = NativeGateSequence.uniform(_sites(), "cz")
+        # One rate satisfies the reference probe, then mismatches the
+        # two-candidate batch for the first link.
+        with pytest.raises(SearchError, match="rates"):
+            localized_search(
+                None, initial, OPTIONS, batch_probe=lambda seqs: [0.5]
+            )
