@@ -51,6 +51,7 @@ def _make_context(args: argparse.Namespace) -> ExperimentContext:
         backend=getattr(args, "backend", "local"),
         fault_profile=getattr(args, "fault_profile", "none"),
         fault_seed=getattr(args, "fault_seed", 0),
+        sim_cache=not getattr(args, "no_sim_cache", False),
     )
 
 
@@ -88,6 +89,12 @@ def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         help="seed for the service fault stream and backoff jitter",
+    )
+    parser.add_argument(
+        "--no-sim-cache",
+        action="store_true",
+        help="disable the simulation cache hierarchy (prefix-state and "
+        "distribution memoization) for A/B runs against the uncached path",
     )
 
 

@@ -37,7 +37,8 @@ from ..sim.channels import (
     unitary_channel,
 )
 from ..sim.density_matrix import DensityMatrixSimulator
-from ..sim.sampler import Counts
+from ..sim.sampler import Counts, sample_distribution
+from ..sim.sim_cache import SimulationCache
 from .native_gates import (
     DEFAULT_PULSE_DURATIONS_NS,
     NativeGateSet,
@@ -120,6 +121,14 @@ class RigettiAspenDevice:
             cleared whenever :meth:`advance_time` drifts them (tracked
             by :attr:`drift_epoch`), so it is exact. On by default;
             disable to run the reference per-Kraus-operator path.
+        sim_cache: Enable the circuit-level simulation cache hierarchy
+            (:class:`~repro.sim.sim_cache.SimulationCache`): lowering +
+            layer fusion, prefix-state memoization, and exact-noisy-
+            distribution caching, all invalidated on every
+            ``drift_epoch`` bump. Requires ``channel_cache`` (the
+            lowering path goes through the fused operation compiler);
+            on by default, disable for A/B runs against the uncached
+            simulation path (``--no-sim-cache`` in the CLI).
     """
 
     def __init__(
@@ -132,6 +141,7 @@ class RigettiAspenDevice:
         idle_noise: bool = False,
         crosstalk_zz: float = 0.0,
         channel_cache: bool = True,
+        sim_cache: bool = True,
     ) -> None:
         missing = [q for q in topology.qubits if q not in qubit_params]
         if missing:
@@ -154,6 +164,9 @@ class RigettiAspenDevice:
         self.drift_epoch = 0
         self.channel_cache: Optional[ChannelCache] = (
             ChannelCache() if channel_cache else None
+        )
+        self.sim_cache: Optional[SimulationCache] = (
+            SimulationCache() if (sim_cache and channel_cache) else None
         )
         self._drift_rng = np.random.default_rng(seed)
         self._sample_rng = np.random.default_rng(seed + 1)
@@ -203,6 +216,8 @@ class RigettiAspenDevice:
         self.drift_epoch += 1
         if self.channel_cache is not None:
             self.channel_cache.invalidate(self.drift_epoch)
+        if self.sim_cache is not None:
+            self.sim_cache.invalidate(self.drift_epoch)
 
     def circuit_duration_us(self, circuit: QuantumCircuit) -> float:
         """Critical-path duration of one shot of a native circuit."""
@@ -262,19 +277,31 @@ class RigettiAspenDevice:
         if self.idle_noise:
             compact = self._with_idle_markers(compact)
 
-        simulator = DensityMatrixSimulator(
-            self._noise_callback_factory(used),
-            operation_compiler=self._operation_compiler_factory(used),
-        )
-        readout = [
-            self.qubit_params[phys].readout_error() for phys in used
-        ]
         rng = (
             np.random.default_rng(seed)
             if seed is not None
             else self._sample_rng
         )
-        counts = simulator.sample(compact, shots, rng, readout_errors=readout)
+        if self.sim_cache is not None:
+            # Cached pipeline: exact distribution through the hierarchy
+            # (lowering + prefix replay + distribution memo), then draw
+            # shots. sample_distribution matches simulator.sample's
+            # sampling semantics exactly (sorted keys, normalized
+            # probabilities, one rng.choice), so the two paths consume
+            # the rng stream identically.
+            distribution = self._exact_distribution(compact, used)
+            counts = sample_distribution(distribution, shots, rng)
+        else:
+            simulator = DensityMatrixSimulator(
+                self._noise_callback_factory(used),
+                operation_compiler=self._operation_compiler_factory(used),
+            )
+            readout = [
+                self.qubit_params[phys].readout_error() for phys in used
+            ]
+            counts = simulator.sample(
+                compact, shots, rng, readout_errors=readout
+            )
         self.log_execution(
             circuit, shots, seed=seed, job_id=job_id, tag=tag, qubits=used
         )
@@ -703,11 +730,31 @@ class RigettiAspenDevice:
         compact, _ = self._compact_circuit(circuit, used)
         if self.idle_noise:
             compact = self._with_idle_markers(compact)
+        return self._exact_distribution(compact, used)
+
+    def _exact_distribution(
+        self, compact: QuantumCircuit, used: List[int]
+    ) -> Dict[str, float]:
+        """Exact noisy distribution of a compacted circuit, at current
+        parameter values — through the simulation cache when enabled.
+
+        The physical placement (``used``) is part of every cache key:
+        equal compact circuits on different physical qubits see
+        different noise and must never share entries.
+        """
+        readout = [self.qubit_params[phys].readout_error() for phys in used]
+        if self.sim_cache is not None:
+            return self.sim_cache.distribution(
+                compact,
+                readout,
+                operation_compiler=self._operation_compiler_factory(used),
+                noise_callback=self._noise_callback_factory(used),
+                placement=tuple(used),
+            )
         simulator = DensityMatrixSimulator(
             self._noise_callback_factory(used),
             operation_compiler=self._operation_compiler_factory(used),
         )
-        readout = [self.qubit_params[phys].readout_error() for phys in used]
         return simulator.distribution(compact, readout_errors=readout)
 
     # ------------------------------------------------------------------

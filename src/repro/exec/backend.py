@@ -202,7 +202,13 @@ class LocalBackend:
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:
-        """Channel-cache counters, for executor instrumentation."""
+        """Channel-cache and simulation-cache counters, merged flat.
+
+        Channel-cache keys are unprefixed (``hits``/``misses``/...);
+        simulation-cache keys carry their level's prefix
+        (``dist_*``/``prefix_*``/``lower_*``) so the executor can diff
+        each level independently.
+        """
         cache = self.device.channel_cache
         if cache is None:
             stats = {
@@ -214,5 +220,8 @@ class LocalBackend:
             }
         else:
             stats = cache.stats()
+        sim = getattr(self.device, "sim_cache", None)
+        if sim is not None:
+            stats.update(sim.stats())
         stats["pool_fallbacks"] = self.pool_fallbacks
         return stats

@@ -53,6 +53,14 @@ class ExecutorStats:
     wall_time_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Simulation-cache hierarchy counters (distribution memo hits skip
+    #: simulation entirely; prefix hits replay a cached state snapshot).
+    sim_dist_hits: int = 0
+    sim_dist_misses: int = 0
+    sim_prefix_hits: int = 0
+    sim_prefix_misses: int = 0
+    #: Gauge: prefix-snapshot bytes resident after the latest batch.
+    sim_prefix_bytes: int = 0
     #: Transient-fault resubmissions performed by a resilient backend.
     retries: int = 0
     #: Jobs that failed permanently (retry budget/deadline/breaker).
@@ -104,6 +112,11 @@ class ExecutorStats:
             "wall_time_s": self.wall_time_s,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "sim_dist_hits": self.sim_dist_hits,
+            "sim_dist_misses": self.sim_dist_misses,
+            "sim_prefix_hits": self.sim_prefix_hits,
+            "sim_prefix_misses": self.sim_prefix_misses,
+            "sim_prefix_bytes": self.sim_prefix_bytes,
             "retries": self.retries,
             "job_failures": self.job_failures,
             "breaker_trips": self.breaker_trips,
@@ -123,6 +136,19 @@ class ExecutorStats:
             f"channel cache: {self.cache_hits} hits / "
             f"{self.cache_misses} misses",
         ]
+        if (
+            self.sim_dist_hits
+            or self.sim_dist_misses
+            or self.sim_prefix_hits
+            or self.sim_prefix_misses
+        ):
+            lines.append(
+                f"sim cache: {self.sim_dist_hits} dist hits / "
+                f"{self.sim_dist_misses} misses, "
+                f"{self.sim_prefix_hits} prefix hits / "
+                f"{self.sim_prefix_misses} misses "
+                f"({self.sim_prefix_bytes / 1024:.0f} KiB resident)"
+            )
         if (
             self.retries
             or self.job_failures
@@ -225,6 +251,21 @@ class BatchExecutor:
         self.stats.record(completed, elapsed, batch=len(jobs) > 1)
         self.stats.cache_hits += after["hits"] - before["hits"]
         self.stats.cache_misses += after["misses"] - before["misses"]
+        self.stats.sim_dist_hits += after.get("dist_hits", 0) - before.get(
+            "dist_hits", 0
+        )
+        self.stats.sim_dist_misses += after.get(
+            "dist_misses", 0
+        ) - before.get("dist_misses", 0)
+        self.stats.sim_prefix_hits += after.get(
+            "prefix_hits", 0
+        ) - before.get("prefix_hits", 0)
+        self.stats.sim_prefix_misses += after.get(
+            "prefix_misses", 0
+        ) - before.get("prefix_misses", 0)
+        self.stats.sim_prefix_bytes = after.get(
+            "prefix_bytes", self.stats.sim_prefix_bytes
+        )
         self.stats.pool_fallbacks += after.get(
             "pool_fallbacks", 0
         ) - before.get("pool_fallbacks", 0)

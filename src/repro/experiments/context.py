@@ -83,6 +83,7 @@ class ExperimentContext:
         fault_profile: object = "none",
         fault_seed: int = 0,
         retry_policy: Optional[RetryPolicy] = None,
+        sim_cache: bool = True,
     ) -> "ExperimentContext":
         """Build a device and age it under the calibration cadence.
 
@@ -106,6 +107,9 @@ class ExperimentContext:
                 only meaningful with ``backend="remote"``.
             fault_seed: Seed for fault injection and backoff jitter.
             retry_policy: Remote-client resilience tunables.
+            sim_cache: Enable the device's simulation cache hierarchy
+                (prefix-state + distribution memoization); disable for
+                A/B runs against the uncached simulation path.
         """
         if device_name == "aspen-11":
             device = aspen11(
@@ -113,6 +117,7 @@ class ExperimentContext:
                 profile=profile,
                 idle_noise=idle_noise,
                 crosstalk_zz=crosstalk_zz,
+                sim_cache=sim_cache,
             )
         elif device_name == "aspen-m-1":
             device = aspen_m1(
@@ -120,6 +125,7 @@ class ExperimentContext:
                 profile=profile,
                 idle_noise=idle_noise,
                 crosstalk_zz=crosstalk_zz,
+                sim_cache=sim_cache,
             )
         else:
             raise ReproError(f"unknown device preset {device_name!r}")

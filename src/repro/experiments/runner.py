@@ -116,6 +116,8 @@ def main(argv: Optional[list] = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     show_stats = "--stats" in argv
     argv = [arg for arg in argv if arg != "--stats"]
+    no_sim_cache = "--no-sim-cache" in argv
+    argv = [arg for arg in argv if arg != "--no-sim-cache"]
     backend = _pop_option(argv, "--backend", "local")
     fault_profile = _pop_option(argv, "--fault-profile", "none")
     fault_seed = int(_pop_option(argv, "--fault-seed", "0"))
@@ -123,7 +125,7 @@ def main(argv: Optional[list] = None) -> int:
         print(
             "usage: python -m repro.experiments.runner [--stats] "
             "[--backend local|remote] [--fault-profile NAME] "
-            "[--fault-seed N] <experiment-id>..."
+            "[--fault-seed N] [--no-sim-cache] <experiment-id>..."
         )
         print("known experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
@@ -135,8 +137,9 @@ def main(argv: Optional[list] = None) -> int:
                 backend=backend,
                 fault_profile=fault_profile,
                 fault_seed=fault_seed,
+                sim_cache=not no_sim_cache,
             )
-            if show_stats or backend != "local"
+            if show_stats or backend != "local" or no_sim_cache
             else None
         )
         result = run_experiment(experiment_id, context=context)

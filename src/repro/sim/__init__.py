@@ -12,6 +12,13 @@
 """
 
 from .channel_cache import ChannelCache
+from .circuit_compiler import (
+    CircuitCompiler,
+    LoweredCircuit,
+    LoweredOp,
+    circuit_fingerprint,
+)
+from .sim_cache import PrefixStateCache, SimulationCache
 from .channels import (
     KrausChannel,
     ReadoutError,
@@ -43,6 +50,12 @@ from .statevector import StatevectorSimulator, StateVector, ideal_distribution
 
 __all__ = [
     "ChannelCache",
+    "CircuitCompiler",
+    "LoweredCircuit",
+    "LoweredOp",
+    "circuit_fingerprint",
+    "PrefixStateCache",
+    "SimulationCache",
     "KrausChannel",
     "ReadoutError",
     "Superoperator",

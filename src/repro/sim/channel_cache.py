@@ -18,13 +18,14 @@ the execution layer (which reports its hit rates through
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Tuple
 
 __all__ = ["ChannelCache"]
 
-#: Entries kept before the cache starts evicting its oldest entry on
-#: each insertion. Generous: a full Aspen-M-1 device has ~100
-#: (link, gate) pairs and ~80 qubits.
+#: Entries kept before the cache starts evicting its least recently
+#: used entry on each insertion. Generous: a full Aspen-M-1 device has
+#: ~100 (link, gate) pairs and ~80 qubits.
 _DEFAULT_MAX_ENTRIES = 8192
 
 
@@ -35,13 +36,13 @@ class ChannelCache:
         hits / misses: Lookup counters since construction (never reset
             by invalidation, so throughput studies can integrate them).
         evictions: Entries dropped one at a time to stay within
-            capacity (FIFO: the oldest insertion goes first).
+            capacity (LRU: the least recently used entry goes first).
         invalidations: How many times the cache was cleared by drift.
         epoch: The drift epoch the current entries were built under.
     """
 
     def __init__(self, max_entries: int = _DEFAULT_MAX_ENTRIES) -> None:
-        self._entries: Dict[Hashable, Any] = {}
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
@@ -55,21 +56,23 @@ class ChannelCache:
     def get(self, key: Hashable, factory: Callable[[], Any]) -> Any:
         """Return the cached value for *key*, building it on first use.
 
-        A full cache evicts its oldest entry (insertion order — all
-        entries of one epoch are equally valid, so FIFO is as good as
-        LRU here and needs no bookkeeping) rather than dropping the
-        whole working set.
+        A full cache evicts its least recently used entry rather than
+        dropping the whole working set. Hits refresh recency, so
+        non-uniform reuse (hot per-gate entries among one-shot prefix or
+        distribution keys) keeps the hot set resident — the reason this
+        is LRU and not the cheaper FIFO.
         """
         try:
             value = self._entries[key]
         except KeyError:
             self.misses += 1
             while len(self._entries) >= self._max_entries:
-                self._entries.pop(next(iter(self._entries)))
+                self._entries.popitem(last=False)
                 self.evictions += 1
             value = factory()
             self._entries[key] = value
             return value
+        self._entries.move_to_end(key)
         self.hits += 1
         return value
 

@@ -51,6 +51,22 @@ class DensityMatrix:
         dim = 2**self.num_qubits
         return self._tensor.reshape(dim, dim).copy()
 
+    def snapshot(self) -> np.ndarray:
+        """Copy of the state tensor, suitable for caching."""
+        return self._tensor.copy()
+
+    @classmethod
+    def from_snapshot(cls, num_qubits: int, tensor: np.ndarray) -> "DensityMatrix":
+        """Rebuild a state from a :meth:`snapshot` tensor (copied)."""
+        state = cls(num_qubits)
+        if tensor.shape != state._tensor.shape:
+            raise SimulationError(
+                f"snapshot shape {tensor.shape} does not match "
+                f"{num_qubits}-qubit state"
+            )
+        state._tensor = np.array(tensor, dtype=complex, copy=True)
+        return state
+
     def trace(self) -> float:
         return float(np.real(np.trace(self.matrix)))
 
@@ -68,11 +84,12 @@ class DensityMatrix:
             op, self._tensor, axes=(list(range(k, 2 * k)), list(axes))
         )
         # Restore axis order: tensordot put the acted-on axes first.
+        # argsort(current) is the inverse permutation — O(k log k)
+        # instead of the O(k^2) list.index scan per axis.
         total_axes = 2 * self.num_qubits
         others = [a for a in range(total_axes) if a not in axes]
-        current = list(axes) + others
-        perm = [current.index(a) for a in range(total_axes)]
-        self._tensor = np.transpose(contracted, perm)
+        current = np.array(list(axes) + others)
+        self._tensor = np.transpose(contracted, np.argsort(current))
 
     def apply_unitary(self, matrix: np.ndarray, qubits: Tuple[int, ...]) -> None:
         """Apply ``rho -> U rho U^dag`` on the given qubits."""
@@ -232,11 +249,11 @@ class DensityMatrixSimulator:
         probs = np.array([distribution[k] for k in keys])
         probs = probs / probs.sum()
         outcomes = rng.choice(len(keys), size=shots, p=probs)
-        counts: Dict[str, int] = {}
-        for outcome in outcomes:
-            key = keys[int(outcome)]
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        values, frequencies = np.unique(outcomes, return_counts=True)
+        return {
+            keys[int(value)]: int(frequency)
+            for value, frequency in zip(values, frequencies)
+        }
 
 
 def _apply_readout_confusion(

@@ -75,6 +75,18 @@ class TestChannelCache:
         assert cache.get("c", lambda: -1) == 3
         assert cache.get("d", lambda: -1) == 4
 
+    def test_hit_refreshes_recency_true_lru(self):
+        """A hit moves the entry to the back of the eviction queue."""
+        cache = ChannelCache(max_entries=2)
+        cache.get("a", lambda: 1)
+        cache.get("b", lambda: 2)
+        cache.get("a", lambda: -1)  # hit: "b" is now least recent
+        cache.get("c", lambda: 3)  # evicts "b", not "a"
+        assert cache.get("a", lambda: -1) == 1  # still resident
+        rebuilt = []
+        cache.get("b", lambda: rebuilt.append("b") or 9)
+        assert rebuilt == ["b"]  # "b" was the one evicted
+
     def test_invalidation_does_not_count_as_eviction(self):
         cache = ChannelCache(max_entries=4)
         cache.get("a", lambda: 1)
