@@ -52,6 +52,8 @@ def _make_context(args: argparse.Namespace) -> ExperimentContext:
         fault_profile=getattr(args, "fault_profile", "none"),
         fault_seed=getattr(args, "fault_seed", 0),
         sim_cache=not getattr(args, "no_sim_cache", False),
+        parallel=getattr(args, "parallel", False),
+        max_workers=getattr(args, "max_workers", None),
     )
 
 
@@ -95,6 +97,19 @@ def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the simulation cache hierarchy (prefix-state and "
         "distribution memoization) for A/B runs against the uncached path",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run executor batches on the persistent worker pool "
+        "(snapshot batch discipline) instead of sequentially",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker-pool size for --parallel (default: auto; 1 forces "
+        "the in-process snapshot path)",
     )
 
 
@@ -197,6 +212,7 @@ def _command_compile(args: argparse.Namespace) -> int:
     if args.emit_qasm:
         print()
         print(to_qasm(native))
+    context.close()
     return 0
 
 

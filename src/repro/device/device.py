@@ -178,6 +178,17 @@ class RigettiAspenDevice:
     def name(self) -> str:
         return self.topology.name
 
+    @property
+    def sample_rng(self) -> np.random.Generator:
+        """The device's own shot-sampling stream.
+
+        This is the generator an unseeded ``run`` call draws from;
+        backends that sample snapshot distributions themselves (the
+        parallel batch paths) must consume it for ``seed=None`` jobs so
+        their counts match a direct unseeded device run.
+        """
+        return self._sample_rng
+
     def supported_gates(self, qubit_a: int, qubit_b: int) -> Tuple[str, ...]:
         """Native two-qubit gates available on a link (canonical order)."""
         link = make_link(qubit_a, qubit_b)
@@ -218,6 +229,113 @@ class RigettiAspenDevice:
             self.channel_cache.invalidate(self.drift_epoch)
         if self.sim_cache is not None:
             self.sim_cache.invalidate(self.drift_epoch)
+
+    # ------------------------------------------------------------------
+    # Parameter-state export (epoch-delta sync for pool workers)
+    # ------------------------------------------------------------------
+    def parameter_state(self) -> Dict[Tuple, float]:
+        """Every drifting parameter's raw process value, flat-keyed.
+
+        Keys are stable across device replicas built from the same
+        construction (``("q", qubit, i)`` for the i-th drifting value of
+        a qubit, ``("g", link, gate, i)`` for a two-qubit gate), so a
+        worker holding a pickled copy of this device can apply a delta
+        of these entries and land on bit-identical physics. Values are
+        the *raw* OU process values (pre-clip): shipping them preserves
+        the exact ``current`` reads on the far side.
+        """
+        state: Dict[Tuple, float] = {}
+        for qubit in sorted(self.qubit_params):
+            values = self.qubit_params[qubit].drifting_values()
+            for index, value in enumerate(values):
+                state[("q", qubit, index)] = float(value.process.value)
+        for key in sorted(self.gate_params):
+            link, gate_name = key
+            values = self.gate_params[key].drifting_values()
+            for index, value in enumerate(values):
+                state[("g", link, gate_name, index)] = float(
+                    value.process.value
+                )
+        return state
+
+    def parameter_delta(
+        self, since: Dict[Tuple, float]
+    ) -> Dict[Tuple, float]:
+        """Entries of :meth:`parameter_state` that differ from *since*.
+
+        Non-drifting parameters (``DriftingValue.fixed``, zero
+        stationary std) never move, so the delta a drift epoch produces
+        is exactly the set of parameters whose processes stepped —
+        what a pool ships to workers instead of re-pickling the device.
+        """
+        return {
+            key: value
+            for key, value in self.parameter_state().items()
+            if since.get(key) != value
+        }
+
+    def apply_parameter_state(
+        self, epoch: int, values: Dict[Tuple, float]
+    ) -> None:
+        """Install shipped parameter values and adopt a drift epoch.
+
+        The worker-side half of epoch-delta synchronization: writes each
+        raw process value back into its :class:`~repro.device.drift.
+        DriftingValue` and, when the epoch moved, invalidates the channel
+        and simulation caches exactly as :meth:`advance_time` does in the
+        parent — no cache entry ever outlives the parameters it encodes,
+        on either side of the process boundary.
+        """
+        for key, value in values.items():
+            self._drifting_value(key).process.value = float(value)
+        if epoch != self.drift_epoch:
+            self.drift_epoch = epoch
+            if self.channel_cache is not None:
+                self.channel_cache.invalidate(epoch)
+            if self.sim_cache is not None:
+                self.sim_cache.invalidate(epoch)
+
+    def _drifting_value(self, key: Tuple):
+        if key[0] == "q":
+            _, qubit, index = key
+            return self.qubit_params[qubit].drifting_values()[index]
+        if key[0] == "g":
+            _, link, gate_name, index = key
+            return self.gate_params[(link, gate_name)].drifting_values()[
+                index
+            ]
+        raise DeviceError(f"unknown parameter key {key!r}")
+
+    # ------------------------------------------------------------------
+    # Pickling (what crosses the process boundary to pool workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without cache contents.
+
+        The channel and simulation caches are pure memo tables — every
+        entry is reconstructible from the (pickled) noise parameters —
+        and their payloads dwarf the rest of the device (fused
+        superoperators, density-matrix snapshots up to the prefix byte
+        budget). A worker replica starts with fresh, empty caches of the
+        same configuration and warms its own.
+        """
+        state = dict(self.__dict__)
+        cache = state["channel_cache"]
+        if cache is not None:
+            fresh = ChannelCache(cache._max_entries)
+            fresh.epoch = self.drift_epoch
+            state["channel_cache"] = fresh
+        sim = state["sim_cache"]
+        if sim is not None:
+            fresh_sim = SimulationCache(
+                prefix_bytes=sim.prefix.max_bytes,
+                max_distributions=sim.max_distributions,
+                max_lowered=sim.max_lowered,
+                fuse=sim.fuse,
+            )
+            fresh_sim.epoch = self.drift_epoch
+            state["sim_cache"] = fresh_sim
+        return state
 
     def circuit_duration_us(self, circuit: QuantumCircuit) -> float:
         """Critical-path duration of one shot of a native circuit."""

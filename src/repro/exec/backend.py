@@ -14,13 +14,21 @@ several simulated chips without touching the algorithm layer.
   jobs exactly as in the paper's probing loop. Bit-identical to calling
   the device directly.
 * *parallel* — all jobs' exact output distributions are computed against
-  the device's **current parameter snapshot** (optionally on a process
-  pool), then sampled and accounted job-by-job. This mirrors a cloud
-  batch submission where every circuit in the batch is compiled and run
-  against one calibration snapshot. The clock/drift accounting sequence
-  is identical to sequential execution (same advance calls in the same
+  the device's **current parameter snapshot**, then sampled and
+  accounted job-by-job. This mirrors a cloud batch submission where
+  every circuit in the batch is compiled and run against one
+  calibration snapshot. The clock/drift accounting sequence is
+  identical to sequential execution (same advance calls in the same
   order), so the device *ends* in the same state; only the within-batch
   drift seen by later jobs differs.
+
+The parallel discipline runs on a **persistent**
+:class:`~repro.exec.pool.WorkerPool` owned by the backend: workers are
+spawned once, hold long-lived device replicas with their own cache
+hierarchies, and are kept coherent through epoch-delta synchronization
+— so pooled counts are bit-identical to computing the same snapshot
+distributions in-process (``max_workers=1``, or any environment where
+process pools are unavailable and the backend degrades in-process).
 """
 
 from __future__ import annotations
@@ -33,11 +41,21 @@ import numpy as np
 
 from ..sim.sampler import sample_distribution
 from .job import Job, JobResult
+from .pool import WorkerPool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..device.device import RigettiAspenDevice
 
 __all__ = ["Backend", "LocalBackend"]
+
+#: Pool-infrastructure failures that degrade to in-process computation.
+#: Anything else is a real simulation error and propagates.
+_POOL_ENVIRONMENT_ERRORS = (
+    OSError,
+    EOFError,
+    PicklingError,
+    ImportError,
+)
 
 
 class Backend(Protocol):
@@ -59,38 +77,82 @@ class Backend(Protocol):
         ...
 
 
-# Per-process device replica for pool workers (set by the initializer so
-# the device is pickled once per worker, not once per job).
-_WORKER_DEVICE: Optional["RigettiAspenDevice"] = None
-
-
-def _init_worker(device: "RigettiAspenDevice") -> None:  # pragma: no cover
-    global _WORKER_DEVICE
-    _WORKER_DEVICE = device
-
-
-def _worker_distribution(circuit) -> Dict[str, float]:  # pragma: no cover
-    assert _WORKER_DEVICE is not None
-    return _WORKER_DEVICE.noisy_distribution(circuit)
-
-
-# Warn at most once per process when the pool path degrades in-process;
-# every occurrence is still counted in ``LocalBackend.pool_fallbacks``.
-_POOL_FALLBACK_WARNED = False
-
-
 class LocalBackend:
-    """A Backend wrapping the in-process simulated Aspen device."""
+    """A Backend wrapping the in-process simulated Aspen device.
 
-    def __init__(self, device: "RigettiAspenDevice") -> None:
+    Args:
+        device: The device jobs run on.
+        affinity: Group prefix-sharing parallel jobs onto the same pool
+            worker (see :class:`~repro.exec.pool.WorkerPool`); off falls
+            back to round-robin scheduling.
+    """
+
+    def __init__(
+        self, device: "RigettiAspenDevice", affinity: bool = True
+    ) -> None:
         self.device = device
+        self.affinity = affinity
         #: Parallel batches that fell back to in-process computation
-        #: because a process pool could not be created or fed.
+        #: because a worker pool could not be created or fed.
         self.pool_fallbacks = 0
+        #: Times a worker pool was spawned for this backend (the
+        #: persistence contract: one spawn per backend per sweep unless
+        #: the pool is closed or resized in between).
+        self.pool_spawns = 0
+        self._pool: Optional[WorkerPool] = None
+        # One-shot fallback warning, per backend instance; reset on
+        # pool (re)creation so a rebuilt pool that degrades warns again.
+        self._pool_warned = False
+        # Harvested pool accounting; survives pool close/rebuild so the
+        # executor's before/after diffs never go backwards.
+        self._affinity_hits = 0
+        self._ship_bytes = 0
+        self._worker_cache_totals: Dict[str, int] = {}
 
     @property
     def name(self) -> str:
         return f"local[{self.device.name}]"
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The live worker pool, if one has been spawned."""
+        if self._pool is not None and self._pool.closed:
+            self._pool = None
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a later parallel
+        batch lazily rebuilds it)."""
+        if self._pool is not None:
+            self._ship_bytes += self._pool.ship_bytes
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "LocalBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self, max_workers: Optional[int]) -> WorkerPool:
+        """The persistent pool, created lazily and reused across
+        batches; rebuilt only when closed or explicitly resized."""
+        pool = self.pool
+        if pool is not None and (
+            max_workers is None or max_workers == pool.num_workers
+        ):
+            return pool
+        self.close()
+        pool = WorkerPool(
+            self.device, num_workers=max_workers, affinity=self.affinity
+        )
+        self._pool = pool
+        self.pool_spawns += 1
+        self._pool_warned = False
+        return pool
 
     # ------------------------------------------------------------------
     def submit(self, job: Job) -> JobResult:
@@ -130,7 +192,7 @@ class LocalBackend:
             rng = (
                 np.random.default_rng(job.seed)
                 if job.seed is not None
-                else self.device._sample_rng
+                else self.device.sample_rng
             )
             counts = sample_distribution(distribution, job.shots, rng)
             record = self.device.log_execution(
@@ -159,38 +221,29 @@ class LocalBackend:
     ) -> List[Dict[str, float]]:
         """Exact distributions for all jobs against the current snapshot.
 
-        Tries a process pool (density-matrix jobs are CPU-bound and
-        independent); falls back to in-process computation when pools
-        are unavailable (restricted environments) or not worth it.
+        Dispatches to the persistent worker pool (density-matrix jobs
+        are CPU-bound and independent); computes in-process when a
+        single worker is requested, or when pools are unavailable
+        (restricted environments) — both paths are bit-identical by the
+        epoch-delta synchronization contract.
         """
         if max_workers is not None and max_workers < 2:
             return [
                 self.device.noisy_distribution(job.circuit) for job in jobs
             ]
         try:
-            import concurrent.futures
-
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=max_workers,
-                initializer=_init_worker,
-                initargs=(self.device,),
-            ) as pool:
-                return list(
-                    pool.map(
-                        _worker_distribution,
-                        [job.circuit for job in jobs],
-                    )
-                )
-        except (OSError, PicklingError, ImportError) as exc:
-            # Pool creation/pickling can fail in sandboxed environments;
+            pool = self._ensure_pool(max_workers)
+            distributions, info = pool.run([job.circuit for job in jobs])
+        except _POOL_ENVIRONMENT_ERRORS as exc:
+            # Pool creation/feeding can fail in sandboxed environments;
             # the snapshot semantics do not depend on parallelism. Any
             # other exception is a real simulation error and propagates.
-            global _POOL_FALLBACK_WARNED
+            self.close()
             self.pool_fallbacks += 1
-            if not _POOL_FALLBACK_WARNED:
-                _POOL_FALLBACK_WARNED = True
+            if not self._pool_warned:
+                self._pool_warned = True
                 warnings.warn(
-                    "process pool unavailable "
+                    "worker pool unavailable "
                     f"({type(exc).__name__}: {exc}); computing batch "
                     "distributions in-process (counted in pool_fallbacks)",
                     RuntimeWarning,
@@ -199,15 +252,25 @@ class LocalBackend:
             return [
                 self.device.noisy_distribution(job.circuit) for job in jobs
             ]
+        self._affinity_hits += info.affinity_hits
+        self._ship_bytes += info.ship_bytes
+        for key, value in info.cache_deltas.items():
+            self._worker_cache_totals[key] = (
+                self._worker_cache_totals.get(key, 0) + value
+            )
+        return distributions
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:
-        """Channel-cache and simulation-cache counters, merged flat.
+        """Channel-cache, simulation-cache, and pool counters, merged.
 
         Channel-cache keys are unprefixed (``hits``/``misses``/...);
         simulation-cache keys carry their level's prefix
         (``dist_*``/``prefix_*``/``lower_*``) so the executor can diff
-        each level independently.
+        each level independently. Worker-side counters harvested from
+        the pool are *added* into the same keys — a prefix hit inside a
+        worker is a prefix hit — and the pool itself contributes
+        ``workers`` (gauge), ``affinity_hits``, and ``ship_bytes``.
         """
         cache = self.device.channel_cache
         if cache is None:
@@ -223,5 +286,13 @@ class LocalBackend:
         sim = getattr(self.device, "sim_cache", None)
         if sim is not None:
             stats.update(sim.stats())
+        for key, value in self._worker_cache_totals.items():
+            stats[key] = stats.get(key, 0) + value
+        pool = self.pool
+        live_ship = pool.ship_bytes if pool is not None else 0
+        stats["workers"] = pool.num_workers if pool is not None else 0
+        stats["affinity_hits"] = self._affinity_hits
+        stats["ship_bytes"] = self._ship_bytes + live_ship
+        stats["pool_spawns"] = self.pool_spawns
         stats["pool_fallbacks"] = self.pool_fallbacks
         return stats

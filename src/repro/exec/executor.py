@@ -73,6 +73,14 @@ class ExecutorStats:
     #: Parallel batches that lost their process pool and degraded to
     #: in-process computation (LocalBackend).
     pool_fallbacks: int = 0
+    #: Gauge: live worker-pool size after the latest batch (0 = no pool).
+    workers: int = 0
+    #: Jobs the prefix-affinity scheduler placed next to a job sharing
+    #: at least half their instruction prefix on the same worker.
+    affinity_hits: int = 0
+    #: Bytes shipped to pool workers (spawn payloads + epoch deltas +
+    #: chunked circuit dispatch) — the IPC cost parallelism paid.
+    ship_bytes: int = 0
     jobs_by_tag: Dict[str, int] = field(default_factory=dict)
     shots_by_tag: Dict[str, int] = field(default_factory=dict)
     wall_time_by_tag_s: Dict[str, float] = field(default_factory=dict)
@@ -122,6 +130,9 @@ class ExecutorStats:
             "breaker_trips": self.breaker_trips,
             "fallbacks": self.fallbacks,
             "pool_fallbacks": self.pool_fallbacks,
+            "workers": self.workers,
+            "affinity_hits": self.affinity_hits,
+            "ship_bytes": self.ship_bytes,
             "jobs_by_tag": dict(self.jobs_by_tag),
             "shots_by_tag": dict(self.shots_by_tag),
             "wall_time_by_tag_s": dict(self.wall_time_by_tag_s),
@@ -148,6 +159,12 @@ class ExecutorStats:
                 f"{self.sim_prefix_hits} prefix hits / "
                 f"{self.sim_prefix_misses} misses "
                 f"({self.sim_prefix_bytes / 1024:.0f} KiB resident)"
+            )
+        if self.workers or self.affinity_hits or self.ship_bytes:
+            lines.append(
+                f"worker pool: {self.workers} workers, "
+                f"{self.affinity_hits} affinity hits, "
+                f"{self.ship_bytes / 1024:.0f} KiB shipped"
             )
         if (
             self.retries
@@ -269,6 +286,13 @@ class BatchExecutor:
         self.stats.pool_fallbacks += after.get(
             "pool_fallbacks", 0
         ) - before.get("pool_fallbacks", 0)
+        self.stats.workers = after.get("workers", self.stats.workers)
+        self.stats.affinity_hits += after.get(
+            "affinity_hits", 0
+        ) - before.get("affinity_hits", 0)
+        self.stats.ship_bytes += after.get("ship_bytes", 0) - before.get(
+            "ship_bytes", 0
+        )
         self.stats.retries += reliability_after.get(
             "retries", 0
         ) - reliability_before.get("retries", 0)

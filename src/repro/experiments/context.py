@@ -21,7 +21,7 @@ from ..device.device import RigettiAspenDevice
 from ..device.presets import DEFAULT_PROFILE, NoiseProfile, aspen11, aspen_m1
 from ..device.topology import Link
 from ..exceptions import ReproError
-from ..exec import BatchExecutor, Job, get_executor
+from ..exec import BatchExecutor, Job, LocalBackend, get_executor
 from ..metrics import success_rate
 from ..service import (
     CloudQPUService,
@@ -51,6 +51,11 @@ class ExperimentContext:
         fault_seed: Seed for the service's fault stream and the remote
             backend's backoff jitter.
         retry_policy: Remote-client resilience tunables (None = default).
+        parallel: Run executor batches through the snapshot parallel
+            discipline (persistent worker pool) instead of sequentially.
+        max_workers: Worker-pool size for parallel batches (``None`` =
+            the pool's own default; 1 forces the in-process snapshot
+            path).
     """
 
     device: RigettiAspenDevice
@@ -60,7 +65,12 @@ class ExperimentContext:
     fault_profile: Optional[FaultProfile] = None
     fault_seed: int = 0
     retry_policy: Optional[RetryPolicy] = None
+    parallel: bool = False
+    max_workers: Optional[int] = None
     _remote_executor: Optional[BatchExecutor] = field(
+        default=None, repr=False, compare=False
+    )
+    _parallel_executor: Optional[BatchExecutor] = field(
         default=None, repr=False, compare=False
     )
 
@@ -84,6 +94,8 @@ class ExperimentContext:
         fault_seed: int = 0,
         retry_policy: Optional[RetryPolicy] = None,
         sim_cache: bool = True,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
     ) -> "ExperimentContext":
         """Build a device and age it under the calibration cadence.
 
@@ -110,6 +122,10 @@ class ExperimentContext:
             sim_cache: Enable the device's simulation cache hierarchy
                 (prefix-state + distribution memoization); disable for
                 A/B runs against the uncached simulation path.
+            parallel: Dispatch executor batches through the persistent
+                worker pool (snapshot discipline) instead of running
+                them sequentially.
+            max_workers: Pool size for parallel batches.
         """
         if device_name == "aspen-11":
             device = aspen11(
@@ -154,6 +170,8 @@ class ExperimentContext:
             fault_profile=resolved_profile,
             fault_seed=fault_seed,
             retry_policy=retry_policy,
+            parallel=parallel,
+            max_workers=max_workers,
         )
 
     # ------------------------------------------------------------------
@@ -169,10 +187,23 @@ class ExperimentContext:
 
         With ``backend_name="remote"`` this is a dedicated executor over
         a :class:`~repro.service.RemoteBackend` (one cloud service per
-        context); otherwise the device's shared local executor.
+        context); otherwise the device's shared local executor. With
+        ``parallel`` the executor runs batches in ``"parallel"`` mode —
+        local contexts get a dedicated executor owning its backend (and
+        its persistent worker pool), so the shared sequential ledger is
+        untouched; remote contexts forward the mode through the cloud
+        service to its local fallback.
         """
         if self.backend_name == "local":
-            return get_executor(self.device)
+            if not self.parallel:
+                return get_executor(self.device)
+            if self._parallel_executor is None:
+                self._parallel_executor = BatchExecutor(
+                    LocalBackend(self.device),
+                    mode="parallel",
+                    max_workers=self.max_workers,
+                )
+            return self._parallel_executor
         if self._remote_executor is None:
             qpu_service = CloudQPUService(
                 self.device,
@@ -183,9 +214,24 @@ class ExperimentContext:
             self._remote_executor = BatchExecutor(
                 RemoteBackend(
                     qpu_service, self.retry_policy, seed=self.fault_seed
-                )
+                ),
+                mode="parallel" if self.parallel else "sequential",
+                max_workers=self.max_workers,
             )
         return self._remote_executor
+
+    def close(self) -> None:
+        """Release any worker pool owned by this context's executors."""
+        if self._parallel_executor is not None:
+            backend = self._parallel_executor.backend
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()
+        if self._remote_executor is not None:
+            backend = self._remote_executor.backend
+            service = getattr(backend, "service", None)
+            if service is not None:
+                service.close()
 
     def measured_success_rate(self, circuit, ideal, shots: int) -> float:
         """Shot-based SR of a native circuit (what a user measures)."""

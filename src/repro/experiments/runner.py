@@ -112,20 +112,26 @@ def _pop_option(argv: list, name: str, default: str) -> str:
 
 def main(argv: Optional[list] = None) -> int:
     """CLI: ``python -m repro.experiments.runner [--stats]
-    [--backend local|remote] [--fault-profile NAME] <id>...``."""
+    [--backend local|remote] [--fault-profile NAME] [--parallel]
+    [--max-workers N] <id>...``."""
     argv = list(argv) if argv is not None else sys.argv[1:]
     show_stats = "--stats" in argv
     argv = [arg for arg in argv if arg != "--stats"]
     no_sim_cache = "--no-sim-cache" in argv
     argv = [arg for arg in argv if arg != "--no-sim-cache"]
+    parallel = "--parallel" in argv
+    argv = [arg for arg in argv if arg != "--parallel"]
     backend = _pop_option(argv, "--backend", "local")
     fault_profile = _pop_option(argv, "--fault-profile", "none")
     fault_seed = int(_pop_option(argv, "--fault-seed", "0"))
+    max_workers_raw = _pop_option(argv, "--max-workers", "")
+    max_workers = int(max_workers_raw) if max_workers_raw else None
     if not argv or argv[0] in ("-h", "--help"):
         print(
             "usage: python -m repro.experiments.runner [--stats] "
             "[--backend local|remote] [--fault-profile NAME] "
-            "[--fault-seed N] [--no-sim-cache] <experiment-id>..."
+            "[--fault-seed N] [--no-sim-cache] [--parallel] "
+            "[--max-workers N] <experiment-id>..."
         )
         print("known experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
@@ -138,8 +144,10 @@ def main(argv: Optional[list] = None) -> int:
                 fault_profile=fault_profile,
                 fault_seed=fault_seed,
                 sim_cache=not no_sim_cache,
+                parallel=parallel,
+                max_workers=max_workers,
             )
-            if show_stats or backend != "local" or no_sim_cache
+            if show_stats or backend != "local" or no_sim_cache or parallel
             else None
         )
         result = run_experiment(experiment_id, context=context)
@@ -147,6 +155,8 @@ def main(argv: Optional[list] = None) -> int:
         if context is not None and show_stats:
             print("--- execution-service stats ---")
             print(context.executor.stats.to_text())
+        if context is not None:
+            context.close()
         print()
     return 0
 

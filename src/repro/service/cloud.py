@@ -219,7 +219,12 @@ class CloudQPUService:
         self._apply_latency()
         return self._execute_one(job)
 
-    def execute_batch(self, jobs: Sequence[Job]) -> BatchOutcome:
+    def execute_batch(
+        self,
+        jobs: Sequence[Job],
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> BatchOutcome:
         """Submit a batch; per-job faults are reported positionally.
 
         Admission (window/rate-limit) is all-or-nothing for the batch —
@@ -228,6 +233,14 @@ class CloudQPUService:
         the batch is dropped wholesale (the jobs never execute), which
         is how real batch endpoints fail when a queue worker dies
         mid-batch.
+
+        With ``parallel`` the surviving jobs run through the local
+        backend's snapshot batch discipline (worker pool) instead of
+        one-at-a-time sequential execution. The fault stream is drawn
+        identically — one roll per non-dropped job, in submission order
+        — so a given (profile, seed, workload) triple injects the same
+        faults either way; what changes is the within-batch drift
+        semantics, exactly as for a local parallel batch.
         """
         if not jobs:
             return BatchOutcome([], [])
@@ -241,17 +254,16 @@ class CloudQPUService:
         ):
             drop_from = int(self._fault_rng.integers(1, len(jobs)))
             self.stats.batch_suffix_drops += 1
+        if parallel and drop_from > 1:
+            return self._execute_batch_parallel(
+                jobs, drop_from, max_workers
+            )
         outcome = BatchOutcome()
         for index, job in enumerate(jobs):
             if index >= drop_from:
                 self.stats.lost_results += 1
                 outcome.results.append(None)
-                outcome.errors.append(
-                    ResultLostError(
-                        f"job {job.job_id or job.circuit.name!r} dropped "
-                        f"in a partial batch failure (cut at {drop_from})"
-                    )
-                )
+                outcome.errors.append(_dropped_error(job, drop_from))
                 continue
             try:
                 outcome.results.append(self._execute_one(job))
@@ -261,7 +273,82 @@ class CloudQPUService:
                 outcome.errors.append(exc)
         return outcome
 
+    def _execute_batch_parallel(
+        self,
+        jobs: Sequence[Job],
+        drop_from: int,
+        max_workers: Optional[int],
+    ) -> BatchOutcome:
+        """Snapshot-batch execution of the non-dropped jobs.
+
+        Fault rolls are drawn upfront in submission order (the same
+        draws the sequential loop would make); rejected jobs never reach
+        the device, while timeout/lost jobs execute — and advance the
+        clock — before their results are discarded, mirroring the
+        sequential semantics.
+        """
+        profile = self.profile
+        rolls = [
+            float(self._fault_rng.random()) if profile.p_job_fault > 0
+            else 1.0
+            for _ in range(drop_from)
+        ]
+        live = [i for i in range(drop_from) if rolls[i] >= profile.p_reject]
+        executed = {}
+        if live:
+            batch = self._local.submit_batch(
+                [jobs[i] for i in live],
+                parallel=len(live) > 1,
+                max_workers=max_workers,
+            )
+            executed = dict(zip(live, batch))
+        outcome = BatchOutcome()
+        for index, job in enumerate(jobs):
+            label = job.job_id or job.circuit.name
+            if index >= drop_from:
+                self.stats.lost_results += 1
+                outcome.results.append(None)
+                outcome.errors.append(_dropped_error(job, drop_from))
+                continue
+            roll = rolls[index]
+            if roll < profile.p_reject:
+                self.stats.rejections += 1
+                outcome.results.append(None)
+                outcome.errors.append(
+                    JobRejectedError(f"job {label!r} rejected at submission")
+                )
+            elif roll < profile.p_reject + profile.p_timeout:
+                self.stats.timeouts += 1
+                outcome.results.append(None)
+                outcome.errors.append(
+                    JobTimeoutError(
+                        f"job {label!r} overran its execution slot"
+                    )
+                )
+            elif roll < profile.p_job_fault:
+                self.stats.lost_results += 1
+                outcome.results.append(None)
+                outcome.errors.append(
+                    ResultLostError(f"result of job {label!r} lost in transit")
+                )
+            else:
+                self.stats.completed += 1
+                outcome.results.append(executed[index])
+                outcome.errors.append(None)
+        return outcome
+
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:
         """Device channel-cache counters (for executor instrumentation)."""
         return self._local.cache_stats()
+
+    def close(self) -> None:
+        """Release the local backend's worker pool, if one was spawned."""
+        self._local.close()
+
+
+def _dropped_error(job: Job, drop_from: int) -> ResultLostError:
+    return ResultLostError(
+        f"job {job.job_id or job.circuit.name!r} dropped "
+        f"in a partial batch failure (cut at {drop_from})"
+    )

@@ -231,11 +231,10 @@ class RemoteBackend:
         Returns one slot per job in submission order; a ``None`` slot is
         a job that failed permanently (retry budget, deadline, or open
         breaker). Each retry round resubmits *only* the failed slots.
-        The ``parallel``/``max_workers`` knobs are accepted for protocol
-        compatibility; the emulated service serializes jobs on the QPU
-        the way a real single-device queue does.
+        ``parallel``/``max_workers`` are forwarded to the service, whose
+        local fallback runs admitted jobs through the device's snapshot
+        batch discipline (persistent worker pool) when asked.
         """
-        del parallel, max_workers  # the service owns scheduling
         if not jobs:
             return []
         slots: List[Optional[JobResult]] = [None] * len(jobs)
@@ -249,7 +248,9 @@ class RemoteBackend:
                 self.resubmitted += len(pending)
             try:
                 outcome = self.service.execute_batch(
-                    [jobs[i] for i in pending]
+                    [jobs[i] for i in pending],
+                    parallel=parallel,
+                    max_workers=max_workers,
                 )
             except TransientServiceError as exc:
                 still_pending = pending  # whole batch bounced

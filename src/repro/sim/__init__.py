@@ -17,6 +17,7 @@ from .circuit_compiler import (
     LoweredCircuit,
     LoweredOp,
     circuit_fingerprint,
+    instruction_hash_chain,
 )
 from .sim_cache import PrefixStateCache, SimulationCache
 from .channels import (
@@ -54,6 +55,7 @@ __all__ = [
     "LoweredCircuit",
     "LoweredOp",
     "circuit_fingerprint",
+    "instruction_hash_chain",
     "PrefixStateCache",
     "SimulationCache",
     "KrausChannel",

@@ -46,6 +46,7 @@ __all__ = [
     "LoweredCircuit",
     "CircuitCompiler",
     "circuit_fingerprint",
+    "instruction_hash_chain",
 ]
 
 _HASH_BYTES = 16
@@ -62,6 +63,35 @@ def circuit_fingerprint(circuit: QuantumCircuit) -> Tuple:
         circuit.num_qubits,
         tuple((g.name, g.qubits, g.params) for g in circuit),
     )
+
+
+def instruction_hash_chain(
+    circuit: QuantumCircuit, hash_seed: Tuple = ()
+) -> Tuple[bytes, ...]:
+    """Rolling content hash after each *instruction* (no lowering).
+
+    The scheduling-side sibling of :class:`CircuitCompiler`'s lowered
+    prefix chain: the same fingerprint discipline — content atoms
+    ``(name, qubits, params)``, circuit label excluded, ``blake2b`` so
+    keys are stable across processes — but computed straight off the
+    instruction stream, with no device hooks and no matrix work. Two
+    circuits share a chain prefix exactly when they share an instruction
+    prefix, which is what the worker pool's prefix-affinity scheduler
+    groups on: candidates that would hit the same
+    :class:`~repro.sim.sim_cache.PrefixStateCache` snapshots land on the
+    same worker.
+    """
+    digest = hashlib.blake2b(
+        repr(("instructions", circuit.num_qubits, tuple(hash_seed))).encode(),
+        digest_size=_HASH_BYTES,
+    ).digest()
+    chain: List[bytes] = []
+    for gate in circuit:
+        hasher = hashlib.blake2b(digest, digest_size=_HASH_BYTES)
+        hasher.update(repr((gate.name, gate.qubits, gate.params)).encode())
+        digest = hasher.digest()
+        chain.append(digest)
+    return tuple(chain)
 
 
 @dataclass(frozen=True)

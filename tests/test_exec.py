@@ -121,7 +121,7 @@ class TestLocalBackend:
         assert results[0] == results[1]
 
     def test_parallel_batch_seed_none_uses_device_stream(self):
-        """seed=None parallel jobs sample from ``device._sample_rng``:
+        """seed=None parallel jobs sample from ``device.sample_rng``:
         deterministic under a fixed device seed, and consuming the same
         stream a direct unseeded run would."""
         results = []
@@ -146,19 +146,15 @@ class TestLocalBackend:
         assert [r.counts for r in batch_c] != results[0]
 
     def test_pool_failure_falls_back_in_process(self, monkeypatch):
-        """Pool breakage degrades to in-process, counted and warned once."""
-        import concurrent.futures
-
+        """Pool breakage degrades to in-process, counted and warned once
+        per backend instance (the warning flag is not process-global)."""
         import repro.exec.backend as backend_module
 
         class _BrokenPool:
             def __init__(self, *args, **kwargs):
                 raise OSError("no process spawning here")
 
-        monkeypatch.setattr(
-            concurrent.futures, "ProcessPoolExecutor", _BrokenPool
-        )
-        monkeypatch.setattr(backend_module, "_POOL_FALLBACK_WARNED", False)
+        monkeypatch.setattr(backend_module, "WorkerPool", _BrokenPool)
         device, _ = _env()
         backend = LocalBackend(device)
         executor = BatchExecutor(
@@ -184,18 +180,25 @@ class TestLocalBackend:
                 [Job(_native_ghz(device), 50, seed=s) for s in (3, 4)]
             )
         assert backend.pool_fallbacks == 2
+        # A fresh backend instance warns again: the flag is per-instance.
+        other = LocalBackend(device)
+        with pytest.warns(RuntimeWarning, match="pool unavailable"):
+            other.submit_batch(
+                [Job(_native_ghz(device), 50, seed=s) for s in (5, 6)],
+                parallel=True,
+                max_workers=4,
+            )
+        assert other.pool_fallbacks == 1
 
     def test_pool_real_errors_propagate(self, monkeypatch):
         """Non-environment exceptions are not swallowed by the fallback."""
-        import concurrent.futures
+        import repro.exec.backend as backend_module
 
         class _ExplodingPool:
             def __init__(self, *args, **kwargs):
                 raise ValueError("a real bug, not a sandbox")
 
-        monkeypatch.setattr(
-            concurrent.futures, "ProcessPoolExecutor", _ExplodingPool
-        )
+        monkeypatch.setattr(backend_module, "WorkerPool", _ExplodingPool)
         device, _ = _env()
         backend = LocalBackend(device)
         jobs = [Job(_native_ghz(device), 50, seed=s) for s in (1, 2)]
