@@ -72,6 +72,15 @@ from .exec import (
     LocalBackend,
     get_executor,
 )
+from .obs import (
+    JsonlSpanSink,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    observed,
+    read_trace,
+    render_trace,
+)
 from .metrics import (
     geometric_mean,
     hellinger_fidelity,
@@ -132,6 +141,14 @@ __all__ = [
     "fault_profile",
     "RemoteBackend",
     "RetryPolicy",
+    # observability
+    "Tracer",
+    "Span",
+    "JsonlSpanSink",
+    "MetricsRegistry",
+    "observed",
+    "read_trace",
+    "render_trace",
     # metrics
     "success_rate",
     "success_rate_from_counts",

@@ -54,7 +54,21 @@ def _make_context(args: argparse.Namespace) -> ExperimentContext:
         sim_cache=not getattr(args, "no_sim_cache", False),
         parallel=getattr(args, "parallel", False),
         max_workers=getattr(args, "max_workers", None),
+        trace=getattr(args, "trace", None),
+        metrics=getattr(args, "metrics", False),
     )
+
+
+def _finish_context(
+    context: ExperimentContext, args: argparse.Namespace
+) -> None:
+    """Close the context, then print the metrics ledger if asked."""
+    context.close()
+    if getattr(args, "metrics", False) and context.metrics_registry:
+        print("--- metrics ---")
+        print(context.metrics_registry.to_text())
+    if getattr(args, "trace", None):
+        print(f"trace written to {args.trace}")
 
 
 def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
@@ -111,6 +125,19 @@ def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker-pool size for --parallel (default: auto; 1 forces "
         "the in-process snapshot path)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="stream a JSONL span trace of the run to FILE "
+        "(search passes, links, probes, backend jobs)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (executor/cache/service "
+        "counters) after the run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,7 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     compile_parser = sub.add_parser(
-        "compile", help="nativize and execute a program"
+        "compile",
+        aliases=["angel"],
+        help="nativize and execute a program",
     )
     compile_parser.add_argument(
         "program", help="Table I benchmark name or OpenQASM 2 file path"
@@ -212,7 +241,7 @@ def _command_compile(args: argparse.Namespace) -> int:
     if args.emit_qasm:
         print()
         print(to_qasm(native))
-    context.close()
+    _finish_context(context, args)
     return 0
 
 
@@ -222,6 +251,7 @@ def _command_device(args: argparse.Namespace) -> int:
         "fig17", context=context, max_links=args.max_links
     )
     print(result.to_text())
+    _finish_context(context, args)
     return 0
 
 
@@ -246,7 +276,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        if args.command == "compile":
+        if args.command in ("compile", "angel"):
             return _command_compile(args)
         if args.command == "experiments":
             for experiment_id in args.ids:

@@ -32,6 +32,7 @@ from ..device.topology import Link
 from ..exceptions import CompilationError, SearchError
 from ..exec import BatchExecutor, Job, get_executor
 from ..metrics import success_rate_from_counts
+from ..obs import runtime as obs
 from .copycat import DEFAULT_NON_CLIFFORD_BUDGET, CopyCat, build_copycat
 from .policies import noise_adaptive_sequence, random_sequence
 from .search import SearchTrace, localized_search
@@ -145,6 +146,24 @@ class Angel:
             raise SearchError(
                 "program has no CNOT sites; nothing to select"
             )
+        tracer = obs.active_tracer()
+        select_span = (
+            tracer.span(
+                "angel.select",
+                program=compiled.scheduled.name,
+                sites=compiled.num_cnot_sites,
+                links=len(compiled.links_used()),
+                probe_shots=self.config.probe_shots,
+            )
+            if tracer
+            else obs.NULL_SPAN
+        )
+        with select_span:
+            return self._select(compiled, select_span)
+
+    def _select(
+        self, compiled: CompiledProgram, select_span
+    ) -> AngelResult:
         copycat = build_copycat(
             compiled.scheduled,
             max_non_clifford=self.config.max_non_clifford,
@@ -206,6 +225,17 @@ class Angel:
         degraded = tuple(trace.degraded_links)
         if degraded:
             self.executor.stats.fallbacks += len(degraded)
+        select_span.set(
+            probes_run=probes_run,
+            updates=trace.num_updates,
+            degraded=len(degraded),
+        )
+        registry = obs.active_registry()
+        if registry is not None:
+            registry.counter("angel.selections").add(1)
+            registry.counter("angel.probes").add(probes_run)
+            registry.counter("angel.updates").add(trace.num_updates)
+            registry.counter("angel.degraded_links").add(len(degraded))
         return AngelResult(
             sequence=best,
             reference_sequence=reference,

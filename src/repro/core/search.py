@@ -26,6 +26,7 @@ import numpy as np
 
 from ..device.topology import Link
 from ..exceptions import SearchError
+from ..obs import runtime as obs
 from .sequence import NativeGateSequence
 
 __all__ = ["ProbeRecord", "SearchTrace", "localized_search"]
@@ -150,90 +151,143 @@ def localized_search(
             raise SearchError(f"link {link} is not used by the program")
 
     trace = SearchTrace()
-    reference = initial
-    reference_sr = evaluate([reference])[0]
-    reference_failed = reference_sr is None
-    trace.probes.append(
-        ProbeRecord(
-            reference,
-            float("nan") if reference_failed else reference_sr,
-            None,
-            "reference",
-            True,
-            failed=reference_failed,
-        )
+    tracer = obs.active_tracer()
+    search_span = (
+        tracer.span("search", links=len(links), max_passes=max_passes)
+        if tracer
+        else obs.NULL_SPAN
     )
-    trace.reference_history.append(reference)
+    with search_span:
+        reference = initial
+        ref_span = (
+            tracer.span("search.reference") if tracer else obs.NULL_SPAN
+        )
+        with ref_span:
+            reference_sr = evaluate([reference])[0]
+            reference_failed = reference_sr is None
+            if tracer:
+                ref_span.set(
+                    success_rate=reference_sr, failed=reference_failed
+                )
+        trace.probes.append(
+            ProbeRecord(
+                reference,
+                float("nan") if reference_failed else reference_sr,
+                None,
+                "reference",
+                True,
+                failed=reference_failed,
+            )
+        )
+        trace.reference_history.append(reference)
 
-    for _pass_number in range(max_passes):
-        updated_this_pass = False
-        for link in links:
-            current_gate = reference.gates_on_link(link)[0]
-            alternatives = [
-                g for g in gate_options[link] if g != current_gate
-            ]
-            best_candidate: Optional[NativeGateSequence] = None
-            best_candidate_sr = reference_sr
-            records: List[ProbeRecord] = []
-            # All of one link's alternatives go to the device as a single
-            # batch; the reference update below happens after the batch,
-            # exactly as in the one-at-a-time formulation.
-            candidates = [
-                reference.with_link_gate(link, gate) for gate in alternatives
-            ]
-            rates = evaluate(candidates) if candidates else []
-            if len(rates) != len(candidates):
-                raise SearchError(
-                    f"batch probe returned {len(rates)} rates for "
-                    f"{len(candidates)} candidates"
-                )
-            for candidate, candidate_sr in zip(candidates, rates):
-                probe_failed = candidate_sr is None
-                records.append(
-                    ProbeRecord(
-                        candidate,
-                        float("nan") if probe_failed else candidate_sr,
-                        link,
-                        "candidate",
-                        False,
-                        failed=probe_failed,
+        for _pass_number in range(max_passes):
+            updated_this_pass = False
+            pass_span = (
+                tracer.span("search.pass", number=_pass_number)
+                if tracer
+                else obs.NULL_SPAN
+            )
+            with pass_span:
+                for link in links:
+                    current_gate = reference.gates_on_link(link)[0]
+                    alternatives = [
+                        g for g in gate_options[link] if g != current_gate
+                    ]
+                    link_span = (
+                        tracer.span(
+                            "search.link",
+                            link=str(link),
+                            candidates=len(alternatives),
+                        )
+                        if tracer
+                        else obs.NULL_SPAN
                     )
-                )
-                # A candidate can only win if both it and the working
-                # reference were actually measured.
-                if (
-                    not probe_failed
-                    and reference_sr is not None
-                    and candidate_sr > best_candidate_sr
-                ):
-                    best_candidate = candidate
-                    best_candidate_sr = candidate_sr
-            if alternatives and (
-                reference_sr is None or all(r is None for r in rates)
-            ):
-                # Degraded: no comparison was possible on this link; the
-                # reference (calibration-fidelity) choice stands.
-                if link not in trace.degraded_links:
-                    trace.degraded_links.append(link)
-            if best_candidate is not None:
-                # Continuous update: adopt before visiting the next link.
-                records = [
-                    ProbeRecord(
-                        r.sequence,
-                        r.success_rate,
-                        r.link,
-                        r.role,
-                        r.sequence == best_candidate,
-                        failed=r.failed,
-                    )
-                    for r in records
-                ]
-                reference = best_candidate
-                reference_sr = best_candidate_sr
-                trace.reference_history.append(reference)
-                updated_this_pass = True
-            trace.probes.extend(records)
-        if not updated_this_pass:
-            break
+                    with link_span:
+                        best_candidate: Optional[NativeGateSequence] = None
+                        best_candidate_sr = reference_sr
+                        records: List[ProbeRecord] = []
+                        # All of one link's alternatives go to the device
+                        # as a single batch; the reference update below
+                        # happens after the batch, exactly as in the
+                        # one-at-a-time formulation.
+                        candidates = [
+                            reference.with_link_gate(link, gate)
+                            for gate in alternatives
+                        ]
+                        rates = evaluate(candidates) if candidates else []
+                        if len(rates) != len(candidates):
+                            raise SearchError(
+                                f"batch probe returned {len(rates)} rates "
+                                f"for {len(candidates)} candidates"
+                            )
+                        for candidate, candidate_sr in zip(candidates, rates):
+                            probe_failed = candidate_sr is None
+                            records.append(
+                                ProbeRecord(
+                                    candidate,
+                                    float("nan")
+                                    if probe_failed
+                                    else candidate_sr,
+                                    link,
+                                    "candidate",
+                                    False,
+                                    failed=probe_failed,
+                                )
+                            )
+                            # A candidate can only win if both it and the
+                            # working reference were actually measured.
+                            if (
+                                not probe_failed
+                                and reference_sr is not None
+                                and candidate_sr > best_candidate_sr
+                            ):
+                                best_candidate = candidate
+                                best_candidate_sr = candidate_sr
+                        degraded = alternatives and (
+                            reference_sr is None
+                            or all(r is None for r in rates)
+                        )
+                        if degraded:
+                            # Degraded: no comparison was possible on this
+                            # link; the reference (calibration-fidelity)
+                            # choice stands.
+                            if link not in trace.degraded_links:
+                                trace.degraded_links.append(link)
+                        if best_candidate is not None:
+                            # Continuous update: adopt before visiting the
+                            # next link.
+                            records = [
+                                ProbeRecord(
+                                    r.sequence,
+                                    r.success_rate,
+                                    r.link,
+                                    r.role,
+                                    r.sequence == best_candidate,
+                                    failed=r.failed,
+                                )
+                                for r in records
+                            ]
+                            reference = best_candidate
+                            reference_sr = best_candidate_sr
+                            trace.reference_history.append(reference)
+                            updated_this_pass = True
+                        trace.probes.extend(records)
+                        if tracer:
+                            link_span.set(
+                                updated=best_candidate is not None,
+                                degraded=bool(degraded),
+                            )
+                if tracer:
+                    pass_span.set(updated=updated_this_pass)
+            if not updated_this_pass:
+                break
+        if tracer:
+            search_span.set(
+                probes=trace.num_probes,
+                updates=trace.num_updates,
+                failed=trace.num_failed,
+                degraded=len(trace.degraded_links),
+            )
 
     return reference, trace

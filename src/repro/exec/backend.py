@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, TYPE_CHECKING
 
 import numpy as np
 
+from ..obs import runtime as obs
 from ..sim.sampler import sample_distribution
 from .job import Job, JobResult
 from .pool import WorkerPool
@@ -157,14 +158,37 @@ class LocalBackend:
     # ------------------------------------------------------------------
     def submit(self, job: Job) -> JobResult:
         """Run one job through ``device.run`` (clock advances after it)."""
-        counts = self.device.run(
-            job.circuit,
-            job.shots,
-            seed=job.seed,
-            job_id=job.job_id,
-            tag=job.tag,
+        tracer = obs.active_tracer()
+        span = (
+            tracer.span(
+                "backend.job",
+                job_id=job.job_id,
+                tag=job.tag or "untagged",
+                shots=job.shots,
+            )
+            if tracer
+            else obs.NULL_SPAN
         )
-        record = self.device.execution_log[-1]
+        with span:
+            before = self._trace_cache_counters() if tracer else None
+            counts = self.device.run(
+                job.circuit,
+                job.shots,
+                seed=job.seed,
+                job_id=job.job_id,
+                tag=job.tag,
+            )
+            record = self.device.execution_log[-1]
+            if tracer:
+                after = self._trace_cache_counters()
+                span.set(
+                    duration_us=record.duration_us,
+                    started_at_us=record.started_at_us,
+                    cache_hits_delta=after[0] - before[0],
+                    cache_misses_delta=after[1] - before[1],
+                    sim_dist_hits_delta=after[2] - before[2],
+                    sim_prefix_hits_delta=after[3] - before[3],
+                )
         return JobResult(
             job_id=job.job_id,
             counts=counts,
@@ -176,6 +200,20 @@ class LocalBackend:
             qubits=record.qubits,
         )
 
+    def _trace_cache_counters(self):
+        """(channel hits, channel misses, dist hits, prefix hits) — the
+        per-job cache attribution sampled around a traced submission."""
+        cache = self.device.channel_cache
+        hits = misses = dist_hits = prefix_hits = 0
+        if cache is not None:
+            hits, misses = cache.hits, cache.misses
+        sim = getattr(self.device, "sim_cache", None)
+        if sim is not None:
+            stats = sim.stats()
+            dist_hits = stats.get("dist_hits", 0)
+            prefix_hits = stats.get("prefix_hits", 0)
+        return (hits, misses, dist_hits, prefix_hits)
+
     def submit_batch(
         self,
         jobs: Sequence[Job],
@@ -186,7 +224,14 @@ class LocalBackend:
             return []
         if not parallel or len(jobs) == 1:
             return [self.submit(job) for job in jobs]
-        distributions = self._batch_distributions(jobs, max_workers)
+        tracer = obs.active_tracer()
+        span = (
+            tracer.span("backend.snapshot_batch", jobs=len(jobs))
+            if tracer
+            else obs.NULL_SPAN
+        )
+        with span:
+            distributions = self._batch_distributions(jobs, max_workers)
         results: List[JobResult] = []
         for job, distribution in zip(jobs, distributions):
             rng = (
@@ -202,6 +247,21 @@ class LocalBackend:
                 job_id=job.job_id,
                 tag=job.tag,
             )
+            if tracer:
+                # Snapshot batches compute distributions collectively
+                # (in the pool span above); still emit one span per job
+                # so a trace covers every probe regardless of mode.
+                with tracer.span(
+                    "backend.job",
+                    job_id=job.job_id,
+                    tag=job.tag or "untagged",
+                    shots=job.shots,
+                ) as job_span:
+                    job_span.set(
+                        duration_us=record.duration_us,
+                        started_at_us=record.started_at_us,
+                        snapshot_batch=True,
+                    )
             results.append(
                 JobResult(
                     job_id=job.job_id,
@@ -240,6 +300,7 @@ class LocalBackend:
             # other exception is a real simulation error and propagates.
             self.close()
             self.pool_fallbacks += 1
+            obs.event("pool.fallback", error=type(exc).__name__)
             if not self._pool_warned:
                 self._pool_warned = True
                 warnings.warn(

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..exceptions import ExecutionError
+from ..obs import runtime as obs
 from .backend import Backend, LocalBackend
 from .job import Job, JobResult
 
@@ -252,19 +253,44 @@ class BatchExecutor:
             if allow_failures
             else None
         )
-        before = self._cache_counters()
-        reliability_before = self._reliability_counters()
-        start = time.perf_counter()
-        submit = tolerant if tolerant is not None else self.backend.submit_batch
-        results = submit(
-            jobs,
-            parallel=(self.mode == "parallel" and len(jobs) > 1),
-            max_workers=self.max_workers,
+        tracer = obs.active_tracer()
+        span = (
+            tracer.span(
+                "exec.batch",
+                backend=self.backend.name,
+                mode=self.mode,
+                jobs=len(jobs),
+                tag=jobs[0].tag or "untagged",
+            )
+            if tracer
+            else obs.NULL_SPAN
         )
-        elapsed = time.perf_counter() - start
-        after = self._cache_counters()
-        reliability_after = self._reliability_counters()
-        completed = [result for result in results if result is not None]
+        with span:
+            before = self._cache_counters()
+            reliability_before = self._reliability_counters()
+            start = time.perf_counter()
+            submit = (
+                tolerant if tolerant is not None else self.backend.submit_batch
+            )
+            results = submit(
+                jobs,
+                parallel=(self.mode == "parallel" and len(jobs) > 1),
+                max_workers=self.max_workers,
+            )
+            elapsed = time.perf_counter() - start
+            after = self._cache_counters()
+            reliability_after = self._reliability_counters()
+            completed = [result for result in results if result is not None]
+            if tracer:
+                span.set(
+                    shots=sum(r.shots for r in completed),
+                    device_time_job_us=sum(
+                        r.duration_us for r in completed
+                    ),
+                    cache_hits_delta=after["hits"] - before["hits"],
+                    cache_misses_delta=after["misses"] - before["misses"],
+                    failed=len(results) - len(completed),
+                )
         self.stats.record(completed, elapsed, batch=len(jobs) > 1)
         self.stats.cache_hits += after["hits"] - before["hits"]
         self.stats.cache_misses += after["misses"] - before["misses"]
@@ -302,6 +328,12 @@ class BatchExecutor:
         self.stats.breaker_trips += reliability_after.get(
             "breaker_trips", 0
         ) - reliability_before.get("breaker_trips", 0)
+        registry = obs.active_registry()
+        if registry is not None:
+            # Absorb the cumulative ledgers after every batch so the
+            # registry is live, not just an end-of-run export.
+            registry.ingest_executor(self.stats)
+            registry.ingest_cache(after)
         return list(results)
 
 

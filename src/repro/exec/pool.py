@@ -46,6 +46,7 @@ import pickle
 import weakref
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from ..obs import runtime as obs
 from ..sim.circuit_compiler import instruction_hash_chain
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -219,12 +220,15 @@ class WorkerPool:
         info = PoolRunInfo()
         if not circuits:
             return [], info
+        tracer = obs.active_tracer()
         epoch = self.device.drift_epoch
         state = self.device.parameter_state()
         assignment, info.affinity_hits = self._assign(circuits)
         self.last_sync_epoch = epoch
         busy: List[Tuple[_Worker, List[int]]] = []
-        for worker, indices in zip(self._workers, assignment):
+        for slot, (worker, indices) in enumerate(
+            zip(self._workers, assignment)
+        ):
             if not indices:
                 continue
             delta = {
@@ -232,28 +236,61 @@ class WorkerPool:
                 for key, value in state.items()
                 if worker.synced_state.get(key) != value
             }
-            message = pickle.dumps(
-                ("run", epoch, delta, [circuits[i] for i in indices]),
-                protocol=pickle.HIGHEST_PROTOCOL,
+            dispatch_span = (
+                tracer.span(
+                    "pool.dispatch",
+                    worker=slot,
+                    jobs=len(indices),
+                    epoch=epoch,
+                    delta_params=len(delta),
+                )
+                if tracer
+                else obs.NULL_SPAN
             )
-            worker.connection.send_bytes(message)
+            with dispatch_span:
+                message = pickle.dumps(
+                    ("run", epoch, delta, [circuits[i] for i in indices]),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                worker.connection.send_bytes(message)
+                if tracer:
+                    dispatch_span.set(ship_bytes=len(message))
             info.ship_bytes += len(message)
             worker.synced_state = dict(state)
             worker.synced_epoch = epoch
-            busy.append((worker, indices))
+            busy.append((slot, worker, indices))
+        if tracer and info.affinity_hits:
+            tracer.event(
+                "pool.affinity",
+                hits=info.affinity_hits,
+                jobs=len(circuits),
+            )
         distributions: List[Optional[Dict[str, float]]] = [None] * len(
             circuits
         )
         error: Optional[BaseException] = None
-        for worker, indices in busy:
+        for slot, worker, indices in busy:
             reply = pickle.loads(worker.connection.recv_bytes())
             if reply[0] == "error":
                 # Drain the remaining replies before raising so the
                 # pool stays usable for the next batch.
                 error = error or reply[1]
+                if tracer:
+                    tracer.event(
+                        "pool.worker_error",
+                        worker=slot,
+                        error=type(reply[1]).__name__,
+                    )
                 continue
             _, results, counters, worker_epoch = reply
             info.epochs.append(worker_epoch)
+            if tracer:
+                tracer.event(
+                    "pool.reply",
+                    worker=slot,
+                    jobs=len(indices),
+                    epoch=worker_epoch,
+                )
             for index, distribution in zip(indices, results):
                 distributions[index] = distribution
             for key, value in counters.items():

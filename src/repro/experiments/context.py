@@ -23,6 +23,8 @@ from ..device.topology import Link
 from ..exceptions import ReproError
 from ..exec import BatchExecutor, Job, LocalBackend, get_executor
 from ..metrics import success_rate
+from ..obs import JsonlSpanSink, MetricsRegistry, Tracer
+from ..obs import runtime as obs
 from ..service import (
     CloudQPUService,
     FaultProfile,
@@ -67,10 +69,19 @@ class ExperimentContext:
     retry_policy: Optional[RetryPolicy] = None
     parallel: bool = False
     max_workers: Optional[int] = None
+    tracer: Optional[Tracer] = field(
+        default=None, repr=False, compare=False
+    )
+    metrics_registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
     _remote_executor: Optional[BatchExecutor] = field(
         default=None, repr=False, compare=False
     )
     _parallel_executor: Optional[BatchExecutor] = field(
+        default=None, repr=False, compare=False
+    )
+    _obs_previous: Optional[tuple] = field(
         default=None, repr=False, compare=False
     )
 
@@ -96,6 +107,8 @@ class ExperimentContext:
         sim_cache: bool = True,
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        trace: Optional[str] = None,
+        metrics: bool = False,
     ) -> "ExperimentContext":
         """Build a device and age it under the calibration cadence.
 
@@ -126,6 +139,12 @@ class ExperimentContext:
                 worker pool (snapshot discipline) instead of running
                 them sequentially.
             max_workers: Pool size for parallel batches.
+            trace: Path to stream a JSONL span trace to; installs a
+                :class:`~repro.obs.Tracer` bound to the device clock for
+                the lifetime of the context (until :meth:`close`).
+            metrics: Install a process-wide
+                :class:`~repro.obs.MetricsRegistry` absorbing executor,
+                cache, and service counters (implied by ``trace``).
         """
         if device_name == "aspen-11":
             device = aspen11(
@@ -162,6 +181,19 @@ class ExperimentContext:
             device.advance_time(step * _HOUR_US)
             service.maybe_recalibrate()
             elapsed += step
+        tracer = None
+        registry = None
+        previous = None
+        if trace is not None or metrics:
+            registry = MetricsRegistry()
+            if trace is not None:
+                tracer = Tracer(
+                    clock_us=lambda: device.clock_us,
+                    sink=JsonlSpanSink(trace),
+                    keep_spans=False,
+                    registry=registry,
+                )
+            previous = obs.install(tracer, registry)
         return cls(
             device=device,
             service=service,
@@ -172,6 +204,9 @@ class ExperimentContext:
             retry_policy=retry_policy,
             parallel=parallel,
             max_workers=max_workers,
+            tracer=tracer,
+            metrics_registry=registry,
+            _obs_previous=previous,
         )
 
     # ------------------------------------------------------------------
@@ -221,7 +256,16 @@ class ExperimentContext:
         return self._remote_executor
 
     def close(self) -> None:
-        """Release any worker pool owned by this context's executors."""
+        """Release worker pools and finalize observability.
+
+        When the context was created with ``trace``/``metrics``, the
+        final executor/cache/service ledgers are absorbed into the
+        registry, the trace sink is flushed and closed, and the
+        previously installed tracer/registry pair (usually none) is
+        restored.
+        """
+        if self.metrics_registry is not None:
+            self._ingest_final_stats()
         if self._parallel_executor is not None:
             backend = self._parallel_executor.backend
             close = getattr(backend, "close", None)
@@ -232,6 +276,29 @@ class ExperimentContext:
             service = getattr(backend, "service", None)
             if service is not None:
                 service.close()
+        if self.tracer is not None:
+            self.tracer.close()
+        if self._obs_previous is not None:
+            obs.uninstall(self._obs_previous)
+            self._obs_previous = None
+
+    def _ingest_final_stats(self) -> None:
+        """Absorb every live executor/backend ledger into the registry."""
+        registry = self.metrics_registry
+        executors = []
+        if self.backend_name == "local" and not self.parallel:
+            executors.append(get_executor(self.device))
+        if self._parallel_executor is not None:
+            executors.append(self._parallel_executor)
+        if self._remote_executor is not None:
+            executors.append(self._remote_executor)
+        for executor in executors:
+            registry.ingest_executor(executor.stats)
+            registry.ingest_cache(executor.backend.cache_stats())
+            service = getattr(executor.backend, "service", None)
+            stats = getattr(service, "stats", None)
+            if stats is not None:
+                registry.ingest_service(stats)
 
     def measured_success_rate(self, circuit, ideal, shots: int) -> float:
         """Shot-based SR of a native circuit (what a user measures)."""

@@ -121,6 +121,10 @@ def main(argv: Optional[list] = None) -> int:
     argv = [arg for arg in argv if arg != "--no-sim-cache"]
     parallel = "--parallel" in argv
     argv = [arg for arg in argv if arg != "--parallel"]
+    show_metrics = "--metrics" in argv
+    argv = [arg for arg in argv if arg != "--metrics"]
+    trace_raw = _pop_option(argv, "--trace", "")
+    trace = trace_raw or None
     backend = _pop_option(argv, "--backend", "local")
     fault_profile = _pop_option(argv, "--fault-profile", "none")
     fault_seed = int(_pop_option(argv, "--fault-seed", "0"))
@@ -131,13 +135,22 @@ def main(argv: Optional[list] = None) -> int:
             "usage: python -m repro.experiments.runner [--stats] "
             "[--backend local|remote] [--fault-profile NAME] "
             "[--fault-seed N] [--no-sim-cache] [--parallel] "
-            "[--max-workers N] <experiment-id>..."
+            "[--max-workers N] [--trace FILE] [--metrics] "
+            "<experiment-id>..."
         )
         print("known experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
     for experiment_id in argv:
         # Each experiment gets a fresh context (a fresh chip-day) so the
         # per-experiment executor ledger is attributable to it alone.
+        needs_context = (
+            show_stats
+            or backend != "local"
+            or no_sim_cache
+            or parallel
+            or show_metrics
+            or trace is not None
+        )
         context = (
             ExperimentContext.create(
                 backend=backend,
@@ -146,8 +159,10 @@ def main(argv: Optional[list] = None) -> int:
                 sim_cache=not no_sim_cache,
                 parallel=parallel,
                 max_workers=max_workers,
+                trace=trace,
+                metrics=show_metrics,
             )
-            if show_stats or backend != "local" or no_sim_cache or parallel
+            if needs_context
             else None
         )
         result = run_experiment(experiment_id, context=context)
@@ -157,6 +172,11 @@ def main(argv: Optional[list] = None) -> int:
             print(context.executor.stats.to_text())
         if context is not None:
             context.close()
+            if show_metrics and context.metrics_registry is not None:
+                print("--- metrics ---")
+                print(context.metrics_registry.to_text())
+            if trace is not None:
+                print(f"trace written to {trace}")
         print()
     return 0
 

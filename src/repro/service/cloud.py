@@ -30,6 +30,7 @@ import numpy as np
 
 from ..exec.backend import LocalBackend
 from ..exec.job import Job, JobResult
+from ..obs import runtime as obs
 from .errors import (
     JobRejectedError,
     JobTimeoutError,
@@ -122,6 +123,14 @@ class CloudQPUService:
     def name(self) -> str:
         return f"cloud[{self.device.name}]"
 
+    def _observe_fault(self, kind: str, **attributes) -> None:
+        """One injected fault: a span event on whoever is measuring us
+        plus a ``service.<kind>`` counter when a registry is live."""
+        obs.event(f"service.{kind}", **attributes)
+        registry = obs.active_registry()
+        if registry is not None:
+            registry.counter(f"service.{kind}").add(1)
+
     # ------------------------------------------------------------------
     # Time
     # ------------------------------------------------------------------
@@ -139,6 +148,10 @@ class CloudQPUService:
         if self._recalibrating_until_us is not None:
             if now < self._recalibrating_until_us:
                 self.stats.unavailable += 1
+                self._observe_fault(
+                    "unavailable",
+                    retry_after_us=self._recalibrating_until_us - now,
+                )
                 raise ServiceUnavailableError(
                     f"{self.name} is recalibrating for another "
                     f"{self._recalibrating_until_us - now:.0f} us",
@@ -155,6 +168,9 @@ class CloudQPUService:
             self._recalibrating_until_us = now + profile.recalibration_us
             self.stats.recalibrations += 1
             self.stats.unavailable += 1
+            self._observe_fault(
+                "recalibration", retry_after_us=profile.recalibration_us
+            )
             raise ServiceUnavailableError(
                 f"{self.name} calibration window expired; recalibrating",
                 retry_after_us=profile.recalibration_us,
@@ -164,6 +180,7 @@ class CloudQPUService:
             and self._window_jobs + num_jobs > profile.max_jobs_per_window
         ):
             self.stats.rate_limited += 1
+            self._observe_fault("rate_limited", jobs=num_jobs)
             window_ends_in = (
                 self._window_start_us + profile.window_us - now
             )
@@ -200,15 +217,18 @@ class CloudQPUService:
         label = job.job_id or job.circuit.name
         if roll < profile.p_reject:
             self.stats.rejections += 1
+            self._observe_fault("rejected", job_id=label)
             raise JobRejectedError(f"job {label!r} rejected at submission")
         result = self._local.submit(job)  # device clock advances here
         if roll < profile.p_reject + profile.p_timeout:
             self.stats.timeouts += 1
+            self._observe_fault("timeout", job_id=label)
             raise JobTimeoutError(
                 f"job {label!r} overran its execution slot"
             )
         if roll < profile.p_job_fault:
             self.stats.lost_results += 1
+            self._observe_fault("result_lost", job_id=label)
             raise ResultLostError(f"result of job {label!r} lost in transit")
         self.stats.completed += 1
         return result
@@ -254,6 +274,9 @@ class CloudQPUService:
         ):
             drop_from = int(self._fault_rng.integers(1, len(jobs)))
             self.stats.batch_suffix_drops += 1
+            self._observe_fault(
+                "batch_suffix_drop", dropped=len(jobs) - drop_from
+            )
         if parallel and drop_from > 1:
             return self._execute_batch_parallel(
                 jobs, drop_from, max_workers
@@ -313,12 +336,14 @@ class CloudQPUService:
             roll = rolls[index]
             if roll < profile.p_reject:
                 self.stats.rejections += 1
+                self._observe_fault("rejected", job_id=label)
                 outcome.results.append(None)
                 outcome.errors.append(
                     JobRejectedError(f"job {label!r} rejected at submission")
                 )
             elif roll < profile.p_reject + profile.p_timeout:
                 self.stats.timeouts += 1
+                self._observe_fault("timeout", job_id=label)
                 outcome.results.append(None)
                 outcome.errors.append(
                     JobTimeoutError(
@@ -327,6 +352,7 @@ class CloudQPUService:
                 )
             elif roll < profile.p_job_fault:
                 self.stats.lost_results += 1
+                self._observe_fault("result_lost", job_id=label)
                 outcome.results.append(None)
                 outcome.errors.append(
                     ResultLostError(f"result of job {label!r} lost in transit")

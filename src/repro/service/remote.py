@@ -36,6 +36,7 @@ import numpy as np
 
 from ..exceptions import ExecutionError
 from ..exec.job import Job, JobResult
+from ..obs import runtime as obs
 from .cloud import CloudQPUService
 from .errors import JobFailedError, TransientServiceError
 
@@ -151,6 +152,11 @@ class RemoteBackend:
         if self._consecutive_failures >= self.policy.breaker_threshold:
             if not self.breaker_open:
                 self.breaker_trips += 1
+                obs.event(
+                    "remote.breaker_trip",
+                    consecutive_failures=self._consecutive_failures,
+                    cooldown_us=self.policy.breaker_cooldown_us,
+                )
             self._breaker_open_until_us = (
                 self.service.device.clock_us + self.policy.breaker_cooldown_us
             )
@@ -163,38 +169,63 @@ class RemoteBackend:
         if self.breaker_open:
             self.fast_fails += 1
             self.failures += 1
+            obs.event("remote.fast_fail", job_id=job.job_id)
             raise JobFailedError(
                 f"circuit breaker open: job "
                 f"{job.job_id or job.circuit.name!r} not submitted",
                 job=job,
             )
-        start_us = self.service.device.clock_us
-        last: Optional[TransientServiceError] = None
-        attempts = 0
-        for attempt in range(self.policy.max_attempts):
-            attempts += 1
-            try:
-                result = self.service.execute(job)
-            except TransientServiceError as exc:
-                last = exc
-                if attempt + 1 >= self.policy.max_attempts:
-                    break
-                backoff = self.policy.backoff_us(
-                    attempt, self._jitter_rng, exc.retry_after_us
-                )
-                elapsed = self.service.device.clock_us - start_us
-                if (
-                    self.policy.deadline_us is not None
-                    and elapsed + backoff > self.policy.deadline_us
-                ):
-                    self.deadline_exceeded += 1
-                    break
-                self.retries += 1
-                self.service.wait(backoff)
-            else:
-                self._record_success()
-                return result
-        self._record_failure()
+        tracer = obs.active_tracer()
+        span = (
+            tracer.span("remote.submit", job_id=job.job_id, shots=job.shots)
+            if tracer
+            else obs.NULL_SPAN
+        )
+        with span:
+            start_us = self.service.device.clock_us
+            last: Optional[TransientServiceError] = None
+            attempts = 0
+            for attempt in range(self.policy.max_attempts):
+                attempts += 1
+                try:
+                    result = self.service.execute(job)
+                except TransientServiceError as exc:
+                    last = exc
+                    if attempt + 1 >= self.policy.max_attempts:
+                        break
+                    backoff = self.policy.backoff_us(
+                        attempt, self._jitter_rng, exc.retry_after_us
+                    )
+                    elapsed = self.service.device.clock_us - start_us
+                    if (
+                        self.policy.deadline_us is not None
+                        and elapsed + backoff > self.policy.deadline_us
+                    ):
+                        self.deadline_exceeded += 1
+                        if tracer:
+                            span.event(
+                                "remote.deadline_exceeded",
+                                elapsed_us=elapsed,
+                                backoff_us=backoff,
+                            )
+                        break
+                    self.retries += 1
+                    if tracer:
+                        span.event(
+                            "remote.retry",
+                            attempt=attempt + 1,
+                            backoff_us=backoff,
+                            error=type(exc).__name__,
+                        )
+                    self.service.wait(backoff)
+                else:
+                    self._record_success()
+                    if tracer:
+                        span.set(attempts=attempts)
+                    return result
+            self._record_failure()
+            if tracer:
+                span.set(attempts=attempts, failed=True)
         raise JobFailedError(
             f"job {job.job_id or job.circuit.name!r} failed permanently "
             f"after {attempts} attempts: {last}",
@@ -237,54 +268,90 @@ class RemoteBackend:
         """
         if not jobs:
             return []
-        slots: List[Optional[JobResult]] = [None] * len(jobs)
-        pending = list(range(len(jobs)))
-        start_us = self.service.device.clock_us
-        for attempt in range(self.policy.max_attempts):
-            if self.breaker_open:
-                self.fast_fails += len(pending)
-                break
-            if attempt > 0:
-                self.resubmitted += len(pending)
-            try:
-                outcome = self.service.execute_batch(
-                    [jobs[i] for i in pending],
-                    parallel=parallel,
-                    max_workers=max_workers,
+        tracer = obs.active_tracer()
+        span = (
+            tracer.span("remote.batch", jobs=len(jobs))
+            if tracer
+            else obs.NULL_SPAN
+        )
+        with span:
+            slots: List[Optional[JobResult]] = [None] * len(jobs)
+            pending = list(range(len(jobs)))
+            start_us = self.service.device.clock_us
+            attempts = 0
+            for attempt in range(self.policy.max_attempts):
+                attempts += 1
+                if self.breaker_open:
+                    self.fast_fails += len(pending)
+                    if tracer:
+                        span.event(
+                            "remote.fast_fail", pending=len(pending)
+                        )
+                    break
+                if attempt > 0:
+                    self.resubmitted += len(pending)
+                try:
+                    outcome = self.service.execute_batch(
+                        [jobs[i] for i in pending],
+                        parallel=parallel,
+                        max_workers=max_workers,
+                    )
+                except TransientServiceError as exc:
+                    still_pending = pending  # whole batch bounced
+                    retry_after_us = exc.retry_after_us
+                    if tracer:
+                        span.event(
+                            "remote.batch_bounced",
+                            error=type(exc).__name__,
+                            retry_after_us=retry_after_us,
+                        )
+                else:
+                    still_pending = []
+                    retry_after_us = 0.0
+                    for slot, result in zip(pending, outcome.results):
+                        if result is None:
+                            still_pending.append(slot)
+                        else:
+                            slots[slot] = result
+                    if len(still_pending) < len(pending):
+                        # Progress was made: the service is alive.
+                        self._record_success()
+                    if not still_pending:
+                        if tracer:
+                            span.set(attempts=attempts, failed=0)
+                        return slots
+                pending = still_pending
+                if attempt + 1 >= self.policy.max_attempts:
+                    break
+                backoff = self.policy.backoff_us(
+                    attempt, self._jitter_rng, retry_after_us
                 )
-            except TransientServiceError as exc:
-                still_pending = pending  # whole batch bounced
-                retry_after_us = exc.retry_after_us
-            else:
-                still_pending = []
-                retry_after_us = 0.0
-                for slot, result in zip(pending, outcome.results):
-                    if result is None:
-                        still_pending.append(slot)
-                    else:
-                        slots[slot] = result
-                if len(still_pending) < len(pending):
-                    # Progress was made: the service is alive.
-                    self._record_success()
-                if not still_pending:
-                    return slots
-            pending = still_pending
-            if attempt + 1 >= self.policy.max_attempts:
-                break
-            backoff = self.policy.backoff_us(
-                attempt, self._jitter_rng, retry_after_us
-            )
-            elapsed = self.service.device.clock_us - start_us
-            if (
-                self.policy.deadline_us is not None
-                and elapsed + backoff > self.policy.deadline_us
-            ):
-                self.deadline_exceeded += 1
-                break
-            self.retries += len(pending)
-            self.service.wait(backoff)
-        if pending:
-            self._record_failure(len(pending))
+                elapsed = self.service.device.clock_us - start_us
+                if (
+                    self.policy.deadline_us is not None
+                    and elapsed + backoff > self.policy.deadline_us
+                ):
+                    self.deadline_exceeded += 1
+                    if tracer:
+                        span.event(
+                            "remote.deadline_exceeded",
+                            elapsed_us=elapsed,
+                            backoff_us=backoff,
+                        )
+                    break
+                self.retries += len(pending)
+                if tracer:
+                    span.event(
+                        "remote.retry",
+                        attempt=attempt + 1,
+                        pending=len(pending),
+                        backoff_us=backoff,
+                    )
+                self.service.wait(backoff)
+            if pending:
+                self._record_failure(len(pending))
+            if tracer:
+                span.set(attempts=attempts, failed=len(pending))
         return slots
 
     # ------------------------------------------------------------------

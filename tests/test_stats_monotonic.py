@@ -1,0 +1,212 @@
+"""Regression guards on the stats ledgers: monotonicity and rendering.
+
+``ExecutorStats`` and ``Backend.cache_stats()`` are cumulative ledgers —
+the executor diffs them before/after each batch and the metrics registry
+absorbs them with never-backwards semantics, so a counter that ever
+decreases across batches corrupts both. Gauges (``workers``,
+``sim_prefix_bytes``, cache ``entries``/``epoch``...) are exempt: they
+report current state, not accumulation.
+
+The formatting guard pins ``to_text`` against field loss or duplication:
+with pairwise-distinct sentinel values, every rendered field's value
+must appear in the text exactly once.
+"""
+
+import re
+
+import pytest
+
+from repro.compiler import transpile
+from repro.compiler.nativization import nativize
+from repro.core.sequence import NativeGateSequence
+from repro.device import small_test_device
+from repro.exec import BatchExecutor, Job, LocalBackend
+from repro.exec.executor import ExecutorStats
+from repro.programs.ghz import ghz
+
+_HOUR_US = 3_600e6
+
+#: Ledger keys that are gauges (point-in-time readings), not counters.
+_STATS_GAUGES = frozenset({"workers", "sim_prefix_bytes"})
+_CACHE_GAUGES = frozenset(
+    {
+        "workers",
+        "entries",
+        "prefix_entries",
+        "prefix_bytes",
+        "sim_prefix_bytes",
+        "dist_entries",
+        "lower_entries",
+        "epoch",
+    }
+)
+
+
+def _flatten(ledger, prefix=""):
+    flat = {}
+    for key, value in ledger.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, prefix=f"{name}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[name] = value
+    return flat
+
+
+def _native_jobs(device, seed0):
+    compiled = transpile(ghz(3), device)
+    jobs = []
+    for index, gate in enumerate(("cz", "xy", "cphase")):
+        sequence = NativeGateSequence.uniform(compiled.sites, gate)
+        circuit = nativize(
+            compiled.scheduled,
+            sequence.as_site_map(),
+            device.native_gates,
+            name_suffix=f"_{gate}",
+        )
+        jobs.append(Job(circuit, 128, seed=seed0 + index, tag="probe"))
+    return jobs
+
+
+def _assert_monotonic(before, after, gauges, label):
+    for key, value in before.items():
+        base = key.rsplit(".", 1)[-1]
+        if base in gauges:
+            continue
+        assert after.get(key, 0) >= value, (
+            f"{label} counter {key} went backwards: "
+            f"{value} -> {after.get(key, 0)}"
+        )
+
+
+class TestMonotonicity:
+    def test_executor_stats_never_decrease_across_batches(self):
+        device = small_test_device(seed=5)
+        executor = BatchExecutor(LocalBackend(device))
+        snapshots = []
+        for round_number in range(4):
+            executor.submit_batch(_native_jobs(device, 100 * round_number))
+            if round_number == 1:
+                # A drift boundary invalidates caches; the cumulative
+                # ledgers must still only move forward.
+                device.advance_time(2.0 * _HOUR_US)
+            snapshots.append(_flatten(executor.stats.snapshot()))
+        for before, after in zip(snapshots, snapshots[1:]):
+            _assert_monotonic(before, after, _STATS_GAUGES, "ExecutorStats")
+
+    def test_cache_stats_never_decrease_across_batches(self):
+        device = small_test_device(seed=5)
+        backend = LocalBackend(device)
+        executor = BatchExecutor(backend)
+        snapshots = []
+        for round_number in range(4):
+            executor.submit_batch(_native_jobs(device, 100 * round_number))
+            if round_number == 1:
+                device.advance_time(2.0 * _HOUR_US)
+            snapshots.append(_flatten(backend.cache_stats()))
+        for before, after in zip(snapshots, snapshots[1:]):
+            _assert_monotonic(before, after, _CACHE_GAUGES, "cache_stats")
+
+    def test_batches_make_progress(self):
+        """The monotonic sweep above is not vacuous: the counting
+        ledgers actually grow between rounds."""
+        device = small_test_device(seed=5)
+        executor = BatchExecutor(LocalBackend(device))
+        executor.submit_batch(_native_jobs(device, 0))
+        first = executor.stats.jobs
+        executor.submit_batch(_native_jobs(device, 100))
+        assert executor.stats.jobs == first + 3
+        assert executor.stats.shots == 2 * 3 * 128
+
+
+class TestToTextRendering:
+    def test_every_field_renders_exactly_once(self):
+        """With pairwise-distinct sentinels, each field's rendered value
+        appears in ``to_text`` output exactly once."""
+        stats = ExecutorStats(
+            jobs=101,
+            batches=103,
+            shots=107,
+            device_time_us=109_000_000.0,  # renders as 109.000
+            wall_time_s=113.25,  # renders as 113.250
+            cache_hits=127,
+            cache_misses=131,
+            sim_dist_hits=137,
+            sim_dist_misses=139,
+            sim_prefix_hits=149,
+            sim_prefix_misses=151,
+            sim_prefix_bytes=157 * 1024,  # renders as 157 KiB
+            retries=163,
+            job_failures=167,
+            breaker_trips=173,
+            fallbacks=179,
+            pool_fallbacks=181,
+            workers=191,
+            affinity_hits=193,
+            ship_bytes=197 * 1024,  # renders as 197 KiB
+            jobs_by_tag={"probe": 199},
+            shots_by_tag={"probe": 211},
+            wall_time_by_tag_s={"probe": 223.125},
+        )
+        text = stats.to_text()
+        expected = {
+            "jobs": "101",
+            "batches": "103",
+            "shots": "107",
+            "device_time_us": "109.000",
+            "wall_time_s": "113.250",
+            "cache_hits": "127",
+            "cache_misses": "131",
+            "sim_dist_hits": "137",
+            "sim_dist_misses": "139",
+            "sim_prefix_hits": "149",
+            "sim_prefix_misses": "151",
+            "sim_prefix_bytes": "157",
+            "retries": "163",
+            "job_failures": "167",
+            "breaker_trips": "173",
+            "fallbacks": "179",
+            "pool_fallbacks": "181",
+            "workers": "191",
+            "affinity_hits": "193",
+            "ship_bytes": "197",
+            "jobs_by_tag.probe": "199",
+            "shots_by_tag.probe": "211",
+            "wall_time_by_tag_s.probe": "223.125",
+        }
+        for fieldname, sentinel in expected.items():
+            occurrences = len(
+                re.findall(rf"(?<![\d.]){re.escape(sentinel)}(?![\d.])", text)
+            )
+            assert occurrences == 1, (
+                f"{fieldname} (sentinel {sentinel}) rendered "
+                f"{occurrences} times in:\n{text}"
+            )
+
+    def test_quiet_sections_are_suppressed(self):
+        """All-zero optional sections (sim cache / pool / reliability)
+        stay out of the rendering; the core lines remain."""
+        text = ExecutorStats(jobs=2, batches=1, shots=64).to_text()
+        assert "jobs: 2" in text
+        assert "sim cache" not in text
+        assert "worker pool" not in text
+        assert "reliability" not in text
+
+    def test_registry_text_renders_each_metric_once(self):
+        """The metrics registry's own renderer never duplicates names."""
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("exec.jobs").add(3)
+        registry.counter("exec.shots").add(64)
+        registry.gauge("cache.workers").set(2)
+        registry.histogram("span.job.wall_s").observe(0.25)
+        lines = registry.to_text().splitlines()
+        names = [line.split()[0] for line in lines if line.strip()]
+        assert len(names) == len(set(names))
+        assert set(names) == {
+            "exec.jobs",
+            "exec.shots",
+            "cache.workers",
+            "span.job.wall_s",
+        }
