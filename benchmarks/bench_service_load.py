@@ -1,0 +1,235 @@
+"""Multi-tenant compile-service load benchmark.
+
+Standalone script (no pytest-benchmark dependency) replaying a mixed
+GHZ / QAOA / BV workload from 8 synthetic tenants through
+:class:`~repro.service.AngelService` — token-bucket admission, deficit
+round-robin scheduling, coalesced probe rounds, and the cross-tenant
+probe-distribution store all in play — and measuring:
+
+* **throughput** — completed compile requests per wall-clock second;
+* **compile latency** — p50/p95 from the ``svc.request`` summary spans
+  a :class:`~repro.obs.Tracer` collects while the service runs (the
+  same spans operators would scrape in production);
+* **dedup ratio** — cross-request probe-distribution replays over total
+  probe jobs, from the per-tenant ledgers;
+* **results unchanged** — every tenant's :class:`~repro.service.
+  CompileOutcome` is compared bit-for-bit (sequence, trace, and final
+  counts) against :func:`~repro.service.run_standalone` on the same
+  :class:`~repro.service.RequestSpec`, pinning the service's core
+  invariant under full load.
+
+Writes ``BENCH_load.json`` in the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py [--smoke] [--check]
+
+``--smoke`` trims shot budgets and requests per tenant for CI runners
+(still 8 tenants, still all three programs). The acceptance bar
+(enforced by ``--check``) is: zero failed requests, every outcome
+bit-identical to its standalone reference, and a dedup ratio > 0 on
+the overlapping workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs import runtime as obs
+from repro.service import (
+    RequestSpec,
+    TenantConfig,
+    replay_workload,
+    run_standalone,
+)
+
+_PROGRAMS = ("GHZ_n4", "QAOA_n5", "BV_n4")
+
+
+def _percentile(values, fraction):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _build_workload(tenants, requests_per_tenant, shots, probe_shots):
+    base = RequestSpec(
+        program="GHZ_n4",
+        shots=shots,
+        probe_shots=probe_shots,
+        drift_hours=2.0,
+    )
+    return {
+        f"tenant-{index}": [
+            replace(base, program=_PROGRAMS[r % len(_PROGRAMS)])
+            for r in range(requests_per_tenant)
+        ]
+        for index in range(tenants)
+    }
+
+
+def _outcome_matches(outcome, reference) -> bool:
+    return (
+        outcome.result.sequence == reference.result.sequence
+        and outcome.result.trace == reference.result.trace
+        and outcome.final_counts == reference.final_counts
+    )
+
+
+def run(tenants, requests_per_tenant, shots, probe_shots, workers):
+    workload = _build_workload(
+        tenants, requests_per_tenant, shots, probe_shots
+    )
+    total_requests = sum(len(specs) for specs in workload.values())
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    previous = obs.install(tracer, registry)
+    start = time.perf_counter()
+    try:
+        outcomes = replay_workload(
+            workload,
+            num_workers=workers,
+            tenants=tuple(
+                TenantConfig(name) for name in sorted(workload)
+            ),
+        )
+    finally:
+        obs.uninstall(previous)
+    elapsed = time.perf_counter() - start
+
+    latencies = [
+        span.attributes["latency_s"]
+        for span in tracer.spans
+        if span.name == "svc.request"
+    ]
+    queue_waits = [
+        span.attributes["queue_wait_s"]
+        for span in tracer.spans
+        if span.name == "svc.request"
+    ]
+
+    # Bit-equivalence audit: one standalone reference per distinct spec
+    # (the workload reuses specs across tenants, so this stays cheap).
+    references = {}
+    failed = 0
+    mismatches = 0
+    probes = dedup_hits = 0
+    per_tenant = {}
+    for name in sorted(outcomes):
+        ok = bad = 0
+        for slot, spec in zip(outcomes[name], workload[name]):
+            if isinstance(slot, BaseException):
+                failed += 1
+                continue
+            if spec not in references:
+                references[spec] = run_standalone(spec)
+            if _outcome_matches(slot, references[spec]):
+                ok += 1
+            else:
+                bad += 1
+            probes += slot.probes_run
+            dedup_hits += slot.dedup_hits
+        mismatches += bad
+        per_tenant[name] = {"matched": ok, "mismatched": bad}
+
+    dedup_ratio = dedup_hits / probes if probes else 0.0
+    return {
+        "benchmark": "multi_tenant_service_load",
+        "workload": (
+            f"{tenants} tenants x {requests_per_tenant} requests "
+            f"({'/'.join(_PROGRAMS)}) @ {shots} shots, "
+            f"{probe_shots} probe shots, {workers} service workers"
+        ),
+        "requests": total_requests,
+        "failed": failed,
+        "wall_time_s": elapsed,
+        "throughput_rps": total_requests / elapsed if elapsed else 0.0,
+        "latency_p50_s": _percentile(latencies, 0.50),
+        "latency_p95_s": _percentile(latencies, 0.95),
+        "queue_wait_p95_s": _percentile(queue_waits, 0.95),
+        "probes": probes,
+        "dedup_hits": dedup_hits,
+        "dedup_ratio": dedup_ratio,
+        "results_unchanged": mismatches == 0,
+        "per_tenant": per_tenant,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced shot/request budget for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless no request failed, every outcome is "
+        "bit-identical to standalone, and the dedup ratio is > 0",
+    )
+    args = parser.parse_args(argv)
+
+    tenants = 8
+    requests_per_tenant = 1 if args.smoke else 3
+    shots = 128 if args.smoke else 1024
+    probe_shots = 64 if args.smoke else 256
+    workers = 2 if args.smoke else 4
+    report = run(tenants, requests_per_tenant, shots, probe_shots, workers)
+
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_load.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"workload   : {report['workload']}")
+    print(
+        f"requests   : {report['requests']} "
+        f"({report['failed']} failed) in {report['wall_time_s']:.2f}s "
+        f"= {report['throughput_rps']:.2f} req/s"
+    )
+    print(
+        f"latency    : p50 {report['latency_p50_s']:.3f}s, "
+        f"p95 {report['latency_p95_s']:.3f}s "
+        f"(queue-wait p95 {report['queue_wait_p95_s']:.3f}s)"
+    )
+    print(
+        f"dedup      : {report['dedup_hits']}/{report['probes']} "
+        f"probe jobs replayed ({report['dedup_ratio']:.1%})"
+    )
+    print(f"unchanged  : {report['results_unchanged']}")
+    print(f"written    : {out_path}")
+
+    if args.check:
+        if report["failed"]:
+            print(
+                f"FAIL: {report['failed']} requests failed",
+                file=sys.stderr,
+            )
+            return 1
+        if not report["results_unchanged"]:
+            print(
+                "FAIL: service outcomes differ from standalone runs",
+                file=sys.stderr,
+            )
+            return 1
+        if report["dedup_ratio"] <= 0.0:
+            print(
+                "FAIL: no cross-request dedup on an overlapping "
+                "workload",
+                file=sys.stderr,
+            )
+            return 1
+        print("CHECK: load bench within acceptance bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,13 @@
 
 Commands:
 
-* ``compile`` — nativize a program (Table I name or OpenQASM file) for a
-  simulated device under a chosen policy (baseline / angel / a fixed
-  gate), execute it, and report the success rate.
+* ``compile`` (alias ``angel``) — nativize a program (Table I name or
+  OpenQASM file) for a simulated device under a chosen policy
+  (baseline / angel / a fixed gate), execute it, and report the
+  success rate.
+* ``serve`` — replay a synthetic multi-tenant workload through the
+  :class:`~repro.service.AngelService` compile service (fair
+  scheduling, probe coalescing, cross-tenant dedup).
 * ``experiments`` — regenerate paper artifacts (delegates to
   :mod:`repro.experiments.runner`).
 * ``device`` — print a device's topology and calibrated fidelity map.
@@ -15,6 +19,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -140,6 +145,38 @@ def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _configure_compile_parser(parser: argparse.ArgumentParser) -> None:
+    """Shared argument set for ``compile`` and its ``angel`` alias.
+
+    ``angel`` is registered as a full subparser (not an argparse alias)
+    so its usage/error messages carry the name the user actually typed
+    — argparse aliases print the canonical name, which made ``repro
+    angel`` error paths inconsistent with ``repro compile``.
+    """
+    parser.add_argument(
+        "program", help="Table I benchmark name or OpenQASM 2 file path"
+    )
+    parser.add_argument(
+        "--policy",
+        default="angel",
+        choices=("angel", "baseline", *NATIVE_TWO_QUBIT_GATES),
+        help="native gate selection policy (or a fixed gate)",
+    )
+    parser.add_argument("--shots", type=int, default=4096)
+    parser.add_argument("--probe-shots", type=int, default=1024)
+    parser.add_argument(
+        "--emit-qasm",
+        action="store_true",
+        help="print the native circuit as OpenQASM",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print execution-service statistics (jobs/shots per phase)",
+    )
+    _add_context_arguments(parser)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -147,33 +184,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    compile_parser = sub.add_parser(
-        "compile",
-        aliases=["angel"],
-        help="nativize and execute a program",
+    _configure_compile_parser(
+        sub.add_parser("compile", help="nativize and execute a program")
     )
-    compile_parser.add_argument(
-        "program", help="Table I benchmark name or OpenQASM 2 file path"
+    _configure_compile_parser(
+        sub.add_parser("angel", help="alias for compile")
     )
-    compile_parser.add_argument(
-        "--policy",
-        default="angel",
-        choices=("angel", "baseline", *NATIVE_TWO_QUBIT_GATES),
-        help="native gate selection policy (or a fixed gate)",
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="replay a multi-tenant workload through the compile service",
     )
-    compile_parser.add_argument("--shots", type=int, default=4096)
-    compile_parser.add_argument("--probe-shots", type=int, default=1024)
-    compile_parser.add_argument(
-        "--emit-qasm",
+    serve_parser.add_argument(
+        "--tenants", type=int, default=4, help="number of synthetic tenants"
+    )
+    serve_parser.add_argument(
+        "--requests",
+        type=int,
+        default=2,
+        help="compile requests per tenant",
+    )
+    serve_parser.add_argument(
+        "--programs",
+        default="GHZ_n4,BV_n4,QAOA_n5",
+        help="comma-separated benchmark names cycled across requests",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="service thread-pool size (scheduled units in flight)",
+    )
+    serve_parser.add_argument(
+        "--window-jobs",
+        type=int,
+        default=None,
+        help="per-round job budget for the DRR scheduler (align with "
+        "the fault profile's calibration-window quota)",
+    )
+    serve_parser.add_argument(
+        "--no-dedup",
         action="store_true",
-        help="print the native circuit as OpenQASM",
+        help="disable the cross-tenant probe-distribution store",
     )
-    compile_parser.add_argument(
-        "--stats",
-        action="store_true",
-        help="print execution-service statistics (jobs/shots per phase)",
-    )
-    _add_context_arguments(compile_parser)
+    serve_parser.add_argument("--shots", type=int, default=1024)
+    serve_parser.add_argument("--probe-shots", type=int, default=256)
+    _add_context_arguments(serve_parser)
 
     experiments_parser = sub.add_parser(
         "experiments", help="regenerate paper artifacts"
@@ -195,6 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _command_compile(args: argparse.Namespace) -> int:
     context = _make_context(args)
+    try:
+        return _run_compile(context, args)
+    finally:
+        # Error paths (ReproError, interrupts) must still release the
+        # worker pools and restore observability; close is idempotent,
+        # so the happy path's _finish_context close is harmless.
+        context.close()
+
+
+def _run_compile(
+    context: ExperimentContext, args: argparse.Namespace
+) -> int:
     program = _load_program(args.program)
     compiled = transpile(program, context.device, context.calibration)
     ideal = compiled.ideal_distribution()
@@ -247,11 +315,82 @@ def _command_compile(args: argparse.Namespace) -> int:
 
 def _command_device(args: argparse.Namespace) -> int:
     context = _make_context(args)
-    result = run_experiment(
-        "fig17", context=context, max_links=args.max_links
+    try:
+        result = run_experiment(
+            "fig17", context=context, max_links=args.max_links
+        )
+        print(result.to_text())
+        _finish_context(context, args)
+        return 0
+    finally:
+        context.close()
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import RequestSpec, TenantConfig, replay_workload
+
+    programs = [name for name in args.programs.split(",") if name]
+    if not programs:
+        raise ReproError("--programs must name at least one benchmark")
+    if args.tenants < 1 or args.requests < 1:
+        raise ReproError("--tenants and --requests must be >= 1")
+    for name in programs:
+        get_benchmark(name)  # fail fast on typos
+    base = RequestSpec(
+        program=programs[0],
+        shots=args.shots,
+        probe_shots=args.probe_shots,
+        device_name=args.device,
+        seed=args.seed,
+        drift_hours=args.drift_hours,
+        backend=args.backend,
+        fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
     )
-    print(result.to_text())
-    _finish_context(context, args)
+    workload = {
+        f"tenant-{index}": [
+            dataclasses.replace(
+                base, program=programs[request % len(programs)]
+            )
+            for request in range(args.requests)
+        ]
+        for index in range(args.tenants)
+    }
+    outcomes = replay_workload(
+        workload,
+        num_workers=args.workers,
+        round_budget_jobs=args.window_jobs,
+        dedup=not args.no_dedup,
+        tenants=tuple(
+            TenantConfig(name) for name in sorted(workload)
+        ),
+    )
+    total = failed = probes = dedup_hits = 0
+    print(
+        f"{'tenant':12s} {'ok':>4s} {'fail':>5s} {'probes':>7s} "
+        f"{'dedup':>6s} {'mean latency':>13s}"
+    )
+    for name in sorted(outcomes):
+        slots = outcomes[name]
+        done = [o for o in slots if not isinstance(o, BaseException)]
+        latencies = [o.latency_s for o in done]
+        mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+        tenant_probes = sum(o.probes_run for o in done)
+        tenant_dedup = sum(o.dedup_hits for o in done)
+        print(
+            f"{name:12s} {len(done):>4d} {len(slots) - len(done):>5d} "
+            f"{tenant_probes:>7d} {tenant_dedup:>6d} "
+            f"{mean_latency:>12.3f}s"
+        )
+        total += len(slots)
+        failed += len(slots) - len(done)
+        probes += tenant_probes
+        dedup_hits += tenant_dedup
+    ratio = dedup_hits / probes if probes else 0.0
+    print(
+        f"total: {total} requests ({failed} failed), {probes} probes, "
+        f"{dedup_hits} dedup hits ({ratio:.1%})"
+    )
     return 0
 
 
@@ -278,6 +417,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command in ("compile", "angel"):
             return _command_compile(args)
+        if args.command == "serve":
+            return _command_serve(args)
         if args.command == "experiments":
             for experiment_id in args.ids:
                 print(run_experiment(experiment_id).to_text())

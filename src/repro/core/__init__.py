@@ -8,7 +8,7 @@
 * :mod:`~repro.core.angel` — the end-to-end framework facade.
 """
 
-from .angel import Angel, AngelConfig, AngelResult
+from .angel import Angel, AngelConfig, AngelProbePlan, AngelResult
 from .cdr import CdrFit, CliffordDataRegression, parity_expectation
 from .copycat import DEFAULT_NON_CLIFFORD_BUDGET, CopyCat, build_copycat
 from .policies import (
@@ -17,7 +17,13 @@ from .policies import (
     random_sequence,
     runtime_best,
 )
-from .search import ProbeRecord, SearchTrace, localized_search
+from .search import (
+    ProbeBatch,
+    ProbeRecord,
+    SearchTrace,
+    localized_search,
+    localized_search_plan,
+)
 from .sequence import NativeGateSequence, enumerate_sequences
 
 __all__ = [
@@ -37,6 +43,9 @@ __all__ = [
     "runtime_best",
     "SequenceEvaluation",
     "localized_search",
+    "localized_search_plan",
     "SearchTrace",
     "ProbeRecord",
+    "ProbeBatch",
+    "AngelProbePlan",
 ]

@@ -35,10 +35,10 @@ from ..metrics import success_rate_from_counts
 from ..obs import runtime as obs
 from .copycat import DEFAULT_NON_CLIFFORD_BUDGET, CopyCat, build_copycat
 from .policies import noise_adaptive_sequence, random_sequence
-from .search import SearchTrace, localized_search
+from .search import ProbeBatch, SearchTrace, localized_search_plan
 from .sequence import NativeGateSequence
 
-__all__ = ["AngelConfig", "AngelResult", "Angel"]
+__all__ = ["AngelConfig", "AngelResult", "Angel", "AngelProbePlan"]
 
 
 @dataclass(frozen=True)
@@ -164,87 +164,38 @@ class Angel:
     def _select(
         self, compiled: CompiledProgram, select_span
     ) -> AngelResult:
-        copycat = build_copycat(
-            compiled.scheduled,
-            max_non_clifford=self.config.max_non_clifford,
-            exclude_hadamard_like=self.config.exclude_hadamard_like,
-        )
-        copycat_ideal = copycat.ideal_distribution()
-        gate_options = compiled.gate_options()
-
-        reference = self._initial_reference(compiled, gate_options)
-        link_order = self._link_order(reference)
-
-        # The CopyCat circuit is fixed for the whole search; only the
-        # native gate at each CNOT site varies between candidates. The
-        # nativizer precomputes everything else (1q rewrites, barriers,
-        # measurements, pass-throughs) once instead of once per probe.
-        nativizer = _CopycatNativizer(copycat, compiled.device.native_gates)
-
-        probes_run = 0
-
-        def probe_batch(
-            sequences: Sequence[NativeGateSequence],
-        ) -> List[Optional[float]]:
-            nonlocal probes_run
-            # Nativize the CopyCat circuit itself under each candidate
-            # sequence (identical CNOT skeleton -> identical site map).
-            # Seeds are drawn in candidate order so the sampling streams
-            # match the historical one-probe-at-a-time loop exactly.
-            jobs = []
-            for offset, sequence in enumerate(sequences):
-                jobs.append(
-                    Job(
-                        nativizer.nativize(sequence, probes_run + offset),
-                        self.config.probe_shots,
-                        seed=int(self._rng.integers(2**31)),
-                        tag="probe",
-                    )
-                )
+        plan = AngelProbePlan(self, compiled, observe=True)
+        while not plan.done:
             # allow_failures: a probe job a resilient backend gave up on
             # comes back as None and degrades that link's comparison
             # instead of aborting the whole search. The budget is spent
             # either way, preserving the 1 + 2L accounting.
-            results = self.executor.submit_batch(jobs, allow_failures=True)
-            probes_run += len(jobs)
-            return [
-                None
-                if result is None
-                else success_rate_from_counts(copycat_ideal, result.counts)
-                for result in results
-            ]
+            plan.deliver(
+                self.executor.submit_batch(
+                    plan.next_jobs(), allow_failures=True
+                )
+            )
+        plan.record_outcome(self.executor, span=select_span)
+        return plan.result()
 
-        best, trace = localized_search(
-            None,
-            reference,
-            gate_options,
-            link_order=link_order,
-            max_passes=self.config.max_passes,
-            batch_probe=probe_batch,
-        )
-        degraded = tuple(trace.degraded_links)
-        if degraded:
-            self.executor.stats.fallbacks += len(degraded)
-        select_span.set(
-            probes_run=probes_run,
-            updates=trace.num_updates,
-            degraded=len(degraded),
-        )
-        registry = obs.active_registry()
-        if registry is not None:
-            registry.counter("angel.selections").add(1)
-            registry.counter("angel.probes").add(probes_run)
-            registry.counter("angel.updates").add(trace.num_updates)
-            registry.counter("angel.degraded_links").add(len(degraded))
-        return AngelResult(
-            sequence=best,
-            reference_sequence=reference,
-            copycat=copycat,
-            copycat_ideal=copycat_ideal,
-            trace=trace,
-            copycats_executed=probes_run,
-            degraded_links=degraded,
-        )
+    def plan(
+        self, compiled: CompiledProgram, observe: bool = False
+    ) -> "AngelProbePlan":
+        """The selection as a stream of schedulable probe batches.
+
+        Where :meth:`select` runs Steps 1-4 inline, :meth:`plan` hands
+        the same computation to an external driver: call
+        :meth:`AngelProbePlan.next_jobs`, execute the jobs through any
+        executor, :meth:`~AngelProbePlan.deliver` the results, repeat
+        until :attr:`~AngelProbePlan.done`. Driving a plan to completion
+        against the same executor is bit-identical to :meth:`select` —
+        ``select`` itself is implemented as exactly that loop.
+
+        ``observe`` defaults to off: schedulers interleaving plans from
+        many requests must not nest one request's search spans inside
+        another's batch spans.
+        """
+        return AngelProbePlan(self, compiled, observe=observe)
 
     def compile_and_select(
         self, circuit: QuantumCircuit
@@ -287,6 +238,173 @@ class Angel:
             self._rng.shuffle(order)
             return order
         return None  # program order (default inside the search)
+
+
+class AngelProbePlan:
+    """One selection's probe work, exposed as schedulable units.
+
+    Wraps :func:`~repro.core.search.localized_search_plan` with the
+    ANGEL-specific probe construction: each yielded
+    :class:`~repro.core.search.ProbeBatch` is turned into CopyCat probe
+    :class:`~repro.exec.Job` s (seeds drawn from the Angel's generator in
+    candidate order, so the sampling streams match the inline
+    one-probe-at-a-time loop exactly), and delivered counts are scored
+    against the CopyCat's ideal distribution before resuming the search.
+
+    Drivers alternate :meth:`next_jobs` / :meth:`deliver` until
+    :attr:`done`, then read :meth:`result`. The batch sequence, RNG
+    draws, and continuous-update semantics are identical to
+    :meth:`Angel.select`, which is itself implemented over this class.
+    """
+
+    def __init__(
+        self,
+        angel: Angel,
+        compiled: CompiledProgram,
+        observe: bool = True,
+    ) -> None:
+        if compiled.num_cnot_sites == 0:
+            raise SearchError(
+                "program has no CNOT sites; nothing to select"
+            )
+        config = angel.config
+        self.compiled = compiled
+        self.copycat = build_copycat(
+            compiled.scheduled,
+            max_non_clifford=config.max_non_clifford,
+            exclude_hadamard_like=config.exclude_hadamard_like,
+        )
+        self.copycat_ideal = self.copycat.ideal_distribution()
+        gate_options = compiled.gate_options()
+        self.reference = angel._initial_reference(compiled, gate_options)
+        link_order = angel._link_order(self.reference)
+        # The CopyCat circuit is fixed for the whole search; only the
+        # native gate at each CNOT site varies between candidates. The
+        # nativizer precomputes everything else (1q rewrites, barriers,
+        # measurements, pass-throughs) once instead of once per probe.
+        self._nativizer = _CopycatNativizer(
+            self.copycat, compiled.device.native_gates
+        )
+        self._probe_shots = config.probe_shots
+        self._rng = angel._rng
+        self._plan = localized_search_plan(
+            self.reference,
+            gate_options,
+            link_order=link_order,
+            max_passes=config.max_passes,
+            observe=observe,
+        )
+        self.probes_run = 0
+        self._batch: Optional[ProbeBatch] = None
+        self._jobs: Optional[List[Job]] = None
+        self._result: Optional[AngelResult] = None
+        self._step(None)
+
+    # ------------------------------------------------------------------
+    def _step(self, rates: Optional[List[Optional[float]]]) -> None:
+        self._jobs = None
+        try:
+            self._batch = self._plan.send(rates)
+        except StopIteration as stop:
+            best, trace = stop.value
+            self._batch = None
+            self._result = AngelResult(
+                sequence=best,
+                reference_sequence=self.reference,
+                copycat=self.copycat,
+                copycat_ideal=self.copycat_ideal,
+                trace=trace,
+                copycats_executed=self.probes_run,
+                degraded_links=tuple(trace.degraded_links),
+            )
+
+    @property
+    def done(self) -> bool:
+        """Whether the search has finished (no more batches to run)."""
+        return self._batch is None
+
+    @property
+    def current_batch(self) -> Optional[ProbeBatch]:
+        """The batch awaiting execution (``None`` once done)."""
+        return self._batch
+
+    def next_jobs(self) -> List[Job]:
+        """The probe jobs of the pending batch.
+
+        Jobs (and their seeds) are built once per batch, on first call —
+        calling this again before :meth:`deliver` returns the same jobs,
+        so a scheduler can inspect the batch size without perturbing the
+        RNG stream.
+        """
+        if self._batch is None:
+            raise SearchError("probe plan is complete; no more batches")
+        if self._jobs is None:
+            self._jobs = [
+                Job(
+                    self._nativizer.nativize(
+                        sequence, self.probes_run + offset
+                    ),
+                    self._probe_shots,
+                    seed=int(self._rng.integers(2**31)),
+                    tag="probe",
+                )
+                for offset, sequence in enumerate(self._batch.sequences)
+            ]
+        return list(self._jobs)
+
+    def deliver(
+        self, results: Sequence[Optional["JobResult"]]
+    ) -> None:
+        """Feed one batch's results back; advances to the next batch.
+
+        A ``None`` slot is a probe job that failed permanently; it scores
+        as a failed probe and degrades that link's comparison instead of
+        aborting the search (the 1 + 2L budget is spent either way).
+        """
+        jobs = self.next_jobs()
+        if len(results) != len(jobs):
+            raise SearchError(
+                f"{len(results)} results delivered for "
+                f"{len(jobs)} probe jobs"
+            )
+        self.probes_run += len(jobs)
+        self._step(
+            [
+                None
+                if result is None
+                else success_rate_from_counts(
+                    self.copycat_ideal, result.counts
+                )
+                for result in results
+            ]
+        )
+
+    def result(self) -> AngelResult:
+        """The finished :class:`AngelResult` (raises until :attr:`done`)."""
+        if self._result is None:
+            raise SearchError("probe plan is not complete yet")
+        return self._result
+
+    def record_outcome(self, executor=None, span=None) -> None:
+        """Post-selection accounting, identical to :meth:`Angel.select`:
+        degraded-link fallbacks on the executor ledger, span attributes,
+        and the ``angel.*`` registry counters."""
+        result = self.result()
+        degraded = result.degraded_links
+        if executor is not None and degraded:
+            executor.stats.fallbacks += len(degraded)
+        if span is not None:
+            span.set(
+                probes_run=self.probes_run,
+                updates=result.trace.num_updates,
+                degraded=len(degraded),
+            )
+        registry = obs.active_registry()
+        if registry is not None:
+            registry.counter("angel.selections").add(1)
+            registry.counter("angel.probes").add(self.probes_run)
+            registry.counter("angel.updates").add(result.trace.num_updates)
+            registry.counter("angel.degraded_links").add(len(degraded))
 
 
 class _CopycatNativizer:

@@ -20,7 +20,16 @@ Algorithm (complexity ``1 + sum_links (|options|-1)`` probes, i.e.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -29,7 +38,13 @@ from ..exceptions import SearchError
 from ..obs import runtime as obs
 from .sequence import NativeGateSequence
 
-__all__ = ["ProbeRecord", "SearchTrace", "localized_search"]
+__all__ = [
+    "ProbeRecord",
+    "ProbeBatch",
+    "SearchTrace",
+    "localized_search",
+    "localized_search_plan",
+]
 
 ProbeFunction = Callable[[NativeGateSequence], float]
 #: A batch probe returns one rate per sequence, ``None`` marking a probe
@@ -54,6 +69,36 @@ class ProbeRecord:
     role: str  # "reference" | "candidate"
     accepted: bool
     failed: bool = False
+
+
+@dataclass(frozen=True)
+class ProbeBatch:
+    """One schedulable unit of the localized search.
+
+    The search only ever batches *within* one link's candidate set (the
+    continuous reference update happens between links), so a batch is
+    the natural quantum of scheduling: a service can interleave batches
+    from many in-flight searches, coalesce them into one calibration
+    window, or run them through any executor — the algorithm itself
+    neither knows nor cares who executes its probes.
+
+    Attributes:
+        kind: ``"reference"`` (the single Step-2 probe) or
+            ``"candidates"`` (one link's mass-replacement batch).
+        sequences: The sequences to probe, in canonical order; the
+            driver must return one rate (or ``None`` for a permanently
+            failed probe job) per sequence, in the same order.
+        link: The link under evaluation (``None`` for the reference).
+        pass_number: Which link sweep this batch belongs to.
+    """
+
+    kind: str
+    sequences: Tuple[NativeGateSequence, ...]
+    link: Optional[Link] = None
+    pass_number: int = 0
+
+    def __len__(self) -> int:
+        return len(self.sequences)
 
 
 @dataclass
@@ -131,14 +176,79 @@ def localized_search(
         ``(best_sequence, trace)`` — the final reference and the full
         probe log.
     """
-    if max_passes < 1:
-        raise SearchError("max_passes must be at least 1")
     if batch_probe is not None:
         evaluate = batch_probe
     elif probe is not None:
         evaluate = lambda sequences: [probe(s) for s in sequences]
     else:
         raise SearchError("either probe or batch_probe is required")
+    plan = localized_search_plan(
+        initial, gate_options, link_order=link_order, max_passes=max_passes
+    )
+    return drive_search_plan(plan, evaluate)
+
+
+def drive_search_plan(
+    plan: "SearchPlan",
+    evaluate: BatchProbeFunction,
+) -> Tuple[NativeGateSequence, SearchTrace]:
+    """Run a search plan to completion with a synchronous evaluator.
+
+    The inline counterpart of a scheduler stepping the plan batch by
+    batch: every yielded :class:`ProbeBatch` is evaluated immediately
+    and the rates sent back. An exception from ``evaluate`` is thrown
+    *into* the generator so its open spans unwind with error status,
+    exactly as the pre-seam inline search did.
+    """
+    try:
+        batch = plan.send(None)  # type: ignore[arg-type]
+        while True:
+            try:
+                rates = evaluate(list(batch.sequences))
+            except BaseException as exc:
+                plan.throw(exc)
+                raise  # pragma: no cover - throw() re-raises
+            batch = plan.send(list(rates))
+    except StopIteration as stop:
+        return stop.value
+
+
+#: The generator type a scheduler drives: yields probe batches, receives
+#: their rates via ``send``, returns ``(best_sequence, trace)``.
+SearchPlan = Generator[
+    ProbeBatch, List[Optional[float]], Tuple[NativeGateSequence, SearchTrace]
+]
+
+
+def localized_search_plan(
+    initial: NativeGateSequence,
+    gate_options: Mapping[Link, Sequence[str]],
+    link_order: Optional[Sequence[Link]] = None,
+    max_passes: int = 1,
+    observe: bool = True,
+) -> SearchPlan:
+    """The localized search as a resumable plan of schedulable batches.
+
+    Same algorithm as :func:`localized_search`, inverted: instead of
+    calling a probe function, the plan *yields* each :class:`ProbeBatch`
+    and suspends until the driver sends back one rate per sequence
+    (``None`` marking a permanently failed probe job). The driver may
+    execute batches through any executor, interleave many plans, or
+    coalesce batches across plans — the probe-order, seed, and
+    continuous-update semantics are identical to the inline search
+    because the batch sequence is identical.
+
+    Args:
+        observe: Emit ``search``/``search.pass``/``search.link`` spans
+            on the active tracer. Drivers interleaving many plans (the
+            multi-tenant service) disable this so one request's spans
+            never nest inside another's.
+
+    Validation errors (bad ``max_passes``, non-uniform ``initial``,
+    unknown links) raise here, before the first batch is yielded.
+    """
+    if max_passes < 1:
+        raise SearchError("max_passes must be at least 1")
     if not initial.is_link_uniform():
         raise SearchError(
             "initial reference must assign one gate per link "
@@ -149,9 +259,30 @@ def localized_search(
     for link in links:
         if link not in used:
             raise SearchError(f"link {link} is not used by the program")
+    return _search_generator(initial, gate_options, links, max_passes, observe)
 
+
+def _receive(
+    rates: Optional[List[Optional[float]]], batch: ProbeBatch
+) -> List[Optional[float]]:
+    if rates is None or len(rates) != len(batch.sequences):
+        got = 0 if rates is None else len(rates)
+        raise SearchError(
+            f"batch probe returned {got} rates "
+            f"for {len(batch.sequences)} candidates"
+        )
+    return rates
+
+
+def _search_generator(
+    initial: NativeGateSequence,
+    gate_options: Mapping[Link, Sequence[str]],
+    links: List[Link],
+    max_passes: int,
+    observe: bool,
+) -> SearchPlan:
     trace = SearchTrace()
-    tracer = obs.active_tracer()
+    tracer = obs.active_tracer() if observe else None
     search_span = (
         tracer.span("search", links=len(links), max_passes=max_passes)
         if tracer
@@ -163,7 +294,8 @@ def localized_search(
             tracer.span("search.reference") if tracer else obs.NULL_SPAN
         )
         with ref_span:
-            reference_sr = evaluate([reference])[0]
+            batch = ProbeBatch("reference", (reference,))
+            reference_sr = _receive((yield batch), batch)[0]
             reference_failed = reference_sr is None
             if tracer:
                 ref_span.set(
@@ -215,12 +347,16 @@ def localized_search(
                             reference.with_link_gate(link, gate)
                             for gate in alternatives
                         ]
-                        rates = evaluate(candidates) if candidates else []
-                        if len(rates) != len(candidates):
-                            raise SearchError(
-                                f"batch probe returned {len(rates)} rates "
-                                f"for {len(candidates)} candidates"
+                        if candidates:
+                            batch = ProbeBatch(
+                                "candidates",
+                                tuple(candidates),
+                                link=link,
+                                pass_number=_pass_number,
                             )
+                            rates = _receive((yield batch), batch)
+                        else:
+                            rates = []
                         for candidate, candidate_sr in zip(candidates, rates):
                             probe_failed = candidate_sr is None
                             records.append(

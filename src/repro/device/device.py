@@ -15,6 +15,7 @@ density-matrix backend.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -170,6 +171,8 @@ class RigettiAspenDevice:
         )
         self._drift_rng = np.random.default_rng(seed)
         self._sample_rng = np.random.default_rng(seed + 1)
+        # (epoch, digest) memo for parameter_fingerprint().
+        self._param_fingerprint: Optional[Tuple[int, bytes]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -258,6 +261,51 @@ class RigettiAspenDevice:
                 )
         return state
 
+    def parameter_fingerprint(self) -> bytes:
+        """A digest of everything that determines this device's physics.
+
+        Two devices with equal fingerprints produce bit-identical exact
+        output distributions for the same circuit: the digest covers the
+        topology name, the physics configuration flags, every drifting
+        parameter's raw process value, every pulse duration, and the
+        drift epoch. This is the cross-request probe-dedup key — a
+        shared distribution store may only serve one request's cached
+        distribution to another when their devices' fingerprints match.
+
+        Memoized per epoch (``advance_time`` and ``apply_parameter_state``
+        drop the memo), so the per-job cost after the first call within
+        an epoch is one tuple compare.
+        """
+        memo = getattr(self, "_param_fingerprint", None)
+        if memo is not None and memo[0] == self.drift_epoch:
+            return memo[1]
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(
+            repr(
+                (
+                    self.name,
+                    self.idle_noise,
+                    self.crosstalk_zz,
+                    self.drift_epoch,
+                )
+            ).encode()
+        )
+        for key, value in self.parameter_state().items():
+            digest.update(repr((key, value)).encode())
+        for qubit in sorted(self.qubit_params):
+            digest.update(
+                repr(
+                    (qubit, self.qubit_params[qubit].rx_duration_ns)
+                ).encode()
+            )
+        for key in sorted(self.gate_params):
+            digest.update(
+                repr((key, self.gate_params[key].duration_ns)).encode()
+            )
+        fingerprint = digest.digest()
+        self._param_fingerprint = (self.drift_epoch, fingerprint)
+        return fingerprint
+
     def parameter_delta(
         self, since: Dict[Tuple, float]
     ) -> Dict[Tuple, float]:
@@ -288,6 +336,7 @@ class RigettiAspenDevice:
         """
         for key, value in values.items():
             self._drifting_value(key).process.value = float(value)
+        self._param_fingerprint = None
         if epoch != self.drift_epoch:
             self.drift_epoch = epoch
             if self.channel_cache is not None:

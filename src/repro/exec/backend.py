@@ -276,6 +276,31 @@ class LocalBackend:
             )
         return results
 
+    def submit_batch_grouped(
+        self,
+        groups: Sequence[Sequence[Job]],
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> List[List[JobResult]]:
+        """Run several job groups as one merged batch, demuxed per group.
+
+        Jobs execute in the flattened submission order, so the device
+        clock/drift trajectory matches submitting the groups back to
+        back; the merge only changes batching granularity (one snapshot
+        round / one pool dispatch instead of several).
+        """
+        groups = [list(group) for group in groups]
+        flat = [job for group in groups for job in group]
+        results = self.submit_batch(
+            flat, parallel=parallel, max_workers=max_workers
+        )
+        demuxed: List[List[JobResult]] = []
+        offset = 0
+        for group in groups:
+            demuxed.append(results[offset : offset + len(group)])
+            offset += len(group)
+        return demuxed
+
     def _batch_distributions(
         self, jobs: Sequence[Job], max_workers: Optional[int]
     ) -> List[Dict[str, float]]:

@@ -62,6 +62,13 @@ class ExecutorStats:
     sim_prefix_misses: int = 0
     #: Gauge: prefix-snapshot bytes resident after the latest batch.
     sim_prefix_bytes: int = 0
+    #: Cross-request dedup: distributions served from / published to a
+    #: shared :class:`~repro.service.dedup.ProbeDistributionStore`.
+    #: Distinct from ``sim_dist_hits`` — those are *same-request* memo
+    #: hits inside one device's own cache; shared hits were computed by
+    #: a different request at the identical physics state.
+    sim_shared_hits: int = 0
+    sim_shared_publishes: int = 0
     #: Transient-fault resubmissions performed by a resilient backend.
     retries: int = 0
     #: Jobs that failed permanently (retry budget/deadline/breaker).
@@ -82,6 +89,9 @@ class ExecutorStats:
     #: Bytes shipped to pool workers (spawn payloads + epoch deltas +
     #: chunked circuit dispatch) — the IPC cost parallelism paid.
     ship_bytes: int = 0
+    #: Probe batches that were merged into a larger submission via
+    #: ``submit_grouped`` (counts source groups, not merged batches).
+    coalesced_groups: int = 0
     jobs_by_tag: Dict[str, int] = field(default_factory=dict)
     shots_by_tag: Dict[str, int] = field(default_factory=dict)
     wall_time_by_tag_s: Dict[str, float] = field(default_factory=dict)
@@ -126,6 +136,8 @@ class ExecutorStats:
             "sim_prefix_hits": self.sim_prefix_hits,
             "sim_prefix_misses": self.sim_prefix_misses,
             "sim_prefix_bytes": self.sim_prefix_bytes,
+            "sim_shared_hits": self.sim_shared_hits,
+            "sim_shared_publishes": self.sim_shared_publishes,
             "retries": self.retries,
             "job_failures": self.job_failures,
             "breaker_trips": self.breaker_trips,
@@ -134,6 +146,7 @@ class ExecutorStats:
             "workers": self.workers,
             "affinity_hits": self.affinity_hits,
             "ship_bytes": self.ship_bytes,
+            "coalesced_groups": self.coalesced_groups,
             "jobs_by_tag": dict(self.jobs_by_tag),
             "shots_by_tag": dict(self.shots_by_tag),
             "wall_time_by_tag_s": dict(self.wall_time_by_tag_s),
@@ -160,6 +173,15 @@ class ExecutorStats:
                 f"{self.sim_prefix_hits} prefix hits / "
                 f"{self.sim_prefix_misses} misses "
                 f"({self.sim_prefix_bytes / 1024:.0f} KiB resident)"
+            )
+        if self.sim_shared_hits or self.sim_shared_publishes:
+            lines.append(
+                f"probe dedup: {self.sim_shared_hits} cross-request hits, "
+                f"{self.sim_shared_publishes} published"
+            )
+        if self.coalesced_groups:
+            lines.append(
+                f"coalescing: {self.coalesced_groups} probe batches merged"
             )
         if self.workers or self.affinity_hits or self.ship_bytes:
             lines.append(
@@ -309,6 +331,12 @@ class BatchExecutor:
         self.stats.sim_prefix_bytes = after.get(
             "prefix_bytes", self.stats.sim_prefix_bytes
         )
+        self.stats.sim_shared_hits += after.get(
+            "dist_shared_hits", 0
+        ) - before.get("dist_shared_hits", 0)
+        self.stats.sim_shared_publishes += after.get(
+            "dist_shared_publishes", 0
+        ) - before.get("dist_shared_publishes", 0)
         self.stats.pool_fallbacks += after.get(
             "pool_fallbacks", 0
         ) - before.get("pool_fallbacks", 0)
@@ -335,6 +363,36 @@ class BatchExecutor:
             registry.ingest_executor(self.stats)
             registry.ingest_cache(after)
         return list(results)
+
+    def submit_grouped(
+        self,
+        groups: Sequence[Sequence[Job]],
+        allow_failures: bool = False,
+    ) -> List[List[Optional[JobResult]]]:
+        """Merge several job groups into one batch; demux per group.
+
+        This is the coalescing seam the multi-tenant service uses: probe
+        batches that would otherwise be separate submissions are merged
+        into a single backend batch (one span, one service-window
+        admission), then results are sliced back to the source groups in
+        submission order. Jobs still execute in the flattened order, so
+        for a sequential backend the device-state trajectory is
+        bit-identical to submitting the groups one after another.
+        """
+        groups = [list(group) for group in groups]
+        flat = [job for group in groups for job in group]
+        if not flat:
+            return [[] for _ in groups]
+        results = self.submit_batch(flat, allow_failures=allow_failures)
+        self.stats.coalesced_groups += sum(
+            1 for group in groups if group
+        )
+        demuxed: List[List[Optional[JobResult]]] = []
+        offset = 0
+        for group in groups:
+            demuxed.append(list(results[offset : offset + len(group)]))
+            offset += len(group)
+        return demuxed
 
 
 # One executor per device so that every caller (ANGEL, CDR, calibration,

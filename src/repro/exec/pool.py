@@ -303,6 +303,27 @@ class WorkerPool:
             raise error
         return list(distributions), info  # type: ignore[arg-type]
 
+    def run_groups(
+        self, groups: Sequence[Sequence["QuantumCircuit"]]
+    ) -> Tuple[List[List[Dict[str, float]]], PoolRunInfo]:
+        """Dispatch the union of several circuit groups in one pool round.
+
+        The merged batch is assigned to workers as a whole — so the
+        prefix-affinity scheduler can co-locate prefix-sharing circuits
+        *across* groups, which separate :meth:`run` calls cannot — and
+        the distributions are demuxed back to the source groups in
+        submission order.
+        """
+        groups = [list(group) for group in groups]
+        flat = [circuit for group in groups for circuit in group]
+        distributions, info = self.run(flat)
+        demuxed: List[List[Dict[str, float]]] = []
+        offset = 0
+        for group in groups:
+            demuxed.append(distributions[offset : offset + len(group)])
+            offset += len(group)
+        return demuxed, info
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

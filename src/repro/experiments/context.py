@@ -84,6 +84,7 @@ class ExperimentContext:
     _obs_previous: Optional[tuple] = field(
         default=None, repr=False, compare=False
     )
+    _closed: bool = field(default=False, repr=False, compare=False)
 
     @property
     def calibration(self) -> CalibrationData:
@@ -263,7 +264,14 @@ class ExperimentContext:
         registry, the trace sink is flushed and closed, and the
         previously installed tracer/registry pair (usually none) is
         restored.
+
+        Idempotent: every CLI/runner path closes through ``try/finally``
+        (or the context-manager protocol), and error paths may have
+        closed already by the time the happy-path cleanup runs.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self.metrics_registry is not None:
             self._ingest_final_stats()
         if self._parallel_executor is not None:
@@ -281,6 +289,12 @@ class ExperimentContext:
         if self._obs_previous is not None:
             obs.uninstall(self._obs_previous)
             self._obs_previous = None
+
+    def __enter__(self) -> "ExperimentContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _ingest_final_stats(self) -> None:
         """Absorb every live executor/backend ledger into the registry."""

@@ -25,32 +25,43 @@ Semantics:
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Dict, Iterable, List, Mapping, Optional, TextIO
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
 class Counter:
-    """A monotonically non-decreasing named value."""
+    """A monotonically non-decreasing named value.
 
-    __slots__ = ("name", "value")
+    Increments are atomic (per-metric lock, shared with the owning
+    registry when there is one) so concurrent instrumented threads —
+    the multi-tenant service's worker pool — never lose updates.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(
+        self, name: str, lock: Optional[threading.RLock] = None
+    ) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def add(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(
                 f"counter {self.name!r} cannot decrease (add {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def advance_to(self, value: float) -> None:
         """Absorb an absolute cumulative ledger value: move forward to
         ``value`` if it is ahead, stay put otherwise (idempotent)."""
-        if value > self.value:
-            self.value = value
+        with self._lock:
+            if value > self.value:
+                self.value = value
 
 
 class Gauge:
@@ -75,10 +86,13 @@ class Histogram:
     """Count/sum/min/max plus fixed-boundary bucket counts."""
 
     __slots__ = ("name", "buckets", "bucket_counts", "count", "total",
-                 "min", "max")
+                 "min", "max", "_lock")
 
     def __init__(
-        self, name: str, buckets: Optional[Iterable[float]] = None
+        self,
+        name: str,
+        buckets: Optional[Iterable[float]] = None,
+        lock: Optional[threading.RLock] = None,
     ) -> None:
         self.name = name
         self.buckets = tuple(sorted(buckets or _DECADE_BUCKETS))
@@ -87,19 +101,21 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -144,29 +160,41 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        # One reentrant lock for the whole registry: metric creation,
+        # every counter/histogram mutation, and snapshot iteration all
+        # serialize on it, so concurrent service threads can share one
+        # installed registry.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Metric accessors (create on first use)
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
-        metric = self._counters.get(name)
-        if metric is None:
-            metric = self._counters[name] = Counter(name)
-        return metric
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(
+                    name, lock=self._lock
+                )
+            return metric
 
     def gauge(self, name: str) -> Gauge:
-        metric = self._gauges.get(name)
-        if metric is None:
-            metric = self._gauges[name] = Gauge(name)
-        return metric
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
 
     def histogram(
         self, name: str, buckets: Optional[Iterable[float]] = None
     ) -> Histogram:
-        metric = self._histograms.get(name)
-        if metric is None:
-            metric = self._histograms[name] = Histogram(name, buckets)
-        return metric
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(
+                    name, buckets, lock=self._lock
+                )
+            return metric
 
     # ------------------------------------------------------------------
     # Ledger absorption
@@ -210,20 +238,21 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """JSON-able view of every metric."""
-        return {
-            "counters": {
-                name: metric.value
-                for name, metric in sorted(self._counters.items())
-            },
-            "gauges": {
-                name: metric.value
-                for name, metric in sorted(self._gauges.items())
-            },
-            "histograms": {
-                name: metric.snapshot()
-                for name, metric in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    name: metric.value
+                    for name, metric in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: metric.value
+                    for name, metric in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: metric.snapshot()
+                    for name, metric in sorted(self._histograms.items())
+                },
+            }
 
     def dump_jsonl(self, file: "TextIO") -> None:
         """One JSON line per metric: ``{"metric": name, "type": ...}``."""
@@ -243,6 +272,10 @@ class MetricsRegistry:
 
     def to_text(self) -> str:
         """Human-readable dump, one aligned line per metric."""
+        with self._lock:
+            return self._to_text_locked()
+
+    def _to_text_locked(self) -> str:
         lines: List[str] = []
         names = list(self._counters) + list(self._gauges) + list(
             self._histograms

@@ -28,6 +28,7 @@ one identity check, pinned by ``benchmarks/bench_obs_overhead.py``.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, TextIO, Union
 
@@ -244,9 +245,23 @@ class Tracer:
         self.keep_spans = keep_spans
         self.registry = registry
         self.spans: List[Span] = []
-        self._stack: List[Span] = []
+        # One open-span stack *per thread*: the multi-tenant service
+        # runs instrumented request stacks on pool threads, and spans
+        # opened on one thread must never nest under another thread's.
+        # Finished spans still funnel into the shared list/sink under
+        # ``_lock``, so a trace interleaves threads but never corrupts.
+        self._stacks = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 1
         self._origin = time.perf_counter()
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
 
     # ------------------------------------------------------------------
     # Clocks
@@ -263,10 +278,12 @@ class Tracer:
     def span(self, name: str, **attributes: Any) -> Span:
         """Open a new span (enter it with ``with``); nests under the
         innermost currently-open span."""
-        parent = self._stack[-1].span_id if self._stack else None
-        span = Span(self, name, self._next_id, parent, attributes)
-        self._next_id += 1
-        return span
+        stack = self._stack
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(self, name, span_id, parent, attributes)
 
     def event(self, name: str, **attributes: Any) -> None:
         """Attach an event to the innermost open span (dropped if no
@@ -289,17 +306,19 @@ class Tracer:
         span.end_device_us = self._now_device()
         # Tolerate exits out of order (an exception unwinding through
         # several instrumented frames): pop down to this span.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
         self._finish(span)
 
     def _finish(self, span: Span) -> None:
-        if self.keep_spans:
-            self.spans.append(span)
-        if self.sink is not None:
-            self.sink.write_span(span)
+        with self._lock:
+            if self.keep_spans:
+                self.spans.append(span)
+            if self.sink is not None:
+                self.sink.write_span(span)
         if self.registry is not None:
             self.registry.counter(f"span.{span.name}").add(1)
             self.registry.histogram(f"span.{span.name}.wall_s").observe(

@@ -10,11 +10,21 @@ retries, backoff + jitter, per-job deadlines, a circuit breaker, and
 partial-batch recovery, so everything above the execution seam (ANGEL,
 CDR, the experiments, the CLI) runs unchanged against a flaky cloud.
 
-See ``docs/architecture.md`` ("Service layer & failure semantics") for
-how failures propagate up to ANGEL's graceful degradation.
+On top of that sits the multi-tenant compile tier:
+:class:`AngelService` accepts concurrent :class:`RequestSpec` compile
+requests under token-bucket admission (:class:`TenantConfig`), deficit
+round-robin fair scheduling (:class:`~repro.service.scheduler.
+DeficitRoundRobin`), probe-batch coalescing, and cross-tenant probe
+deduplication (:class:`ProbeDistributionStore`) — while keeping every
+request bit-identical to a standalone run (:func:`run_standalone`).
+
+See ``docs/architecture.md`` ("Service layer & failure semantics" and
+"Multi-tenant compile service") for how failures propagate up to
+ANGEL's graceful degradation and how the service tier schedules.
 """
 
 from .cloud import BatchOutcome, CloudQPUService, ServiceStats
+from .dedup import ProbeDistributionStore
 from .errors import (
     JobFailedError,
     JobRejectedError,
@@ -26,6 +36,20 @@ from .errors import (
 )
 from .faults import FAULT_PROFILES, FaultProfile, ZERO_FAULTS, fault_profile
 from .remote import RemoteBackend, RetryPolicy
+from .scheduler import DeficitRoundRobin
+from .tenant import AdmissionError, TenantConfig, TokenBucket
+
+# The request/session layer pulls in the experiments context (which in
+# turn imports this package's service classes above), so it must come
+# after them to keep the import acyclic.
+from .angel_service import (  # noqa: E402 - deliberate ordering
+    AngelService,
+    CompileOutcome,
+    RequestHandle,
+    RequestSpec,
+    replay_workload,
+    run_standalone,
+)
 
 __all__ = [
     "BatchOutcome",
@@ -44,4 +68,15 @@ __all__ = [
     "ServiceUnavailableError",
     "RateLimitError",
     "JobFailedError",
+    "AdmissionError",
+    "TenantConfig",
+    "TokenBucket",
+    "DeficitRoundRobin",
+    "ProbeDistributionStore",
+    "AngelService",
+    "RequestSpec",
+    "RequestHandle",
+    "CompileOutcome",
+    "run_standalone",
+    "replay_workload",
 ]

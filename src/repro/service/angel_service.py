@@ -1,0 +1,645 @@
+"""A multi-tenant compile service in front of the ANGEL stack.
+
+:class:`AngelService` accepts many concurrent compile requests — each a
+frozen :class:`RequestSpec` naming a benchmark, a device configuration,
+and a backend — and runs them through the existing ``Backend`` seam
+with fair scheduling, probe-batch coalescing, and cross-tenant probe
+deduplication:
+
+* **Isolation** — every request builds its *own* device, calibration,
+  and executor stack (exactly :meth:`~repro.experiments.context.
+  ExperimentContext.create`), so requests never share mutable physics.
+  The non-negotiable invariant, pinned by ``tests/test_angel_service.
+  py``: a request compiled through the service is **bit-identical** to
+  the same spec run through :func:`run_standalone`, for any tenant mix,
+  worker count, or fault profile.
+* **Fairness** — requests advance one *schedulable unit* (one CopyCat
+  probe batch, or the final shot execution) per grant, under deficit
+  round-robin across tenants (:mod:`repro.service.scheduler`) with
+  token-bucket admission (:mod:`repro.service.tenant`).
+* **Coalescing** — each scheduler round's units execute together in one
+  ``svc.coalesce`` window on a thread pool; a request's probe batch
+  goes through ``BatchExecutor.submit_grouped``, the executor-level
+  merge/demux seam, and remote requests can window-align their batches
+  (:meth:`~repro.service.cloud.CloudQPUService.align_window`).
+* **Dedup** — all request devices attach to one
+  :class:`~repro.service.dedup.ProbeDistributionStore`, so identical
+  probe distributions (same placement, circuit fingerprint, readout,
+  and full device-parameter fingerprint) are computed once per physics
+  state and replayed exactly everywhere else, with per-tenant
+  ``dedup_hits`` ledgers.
+
+The request lifecycle emits a ``svc.request`` summary span (queue wait,
+latency, probes, dedup hits) and ``service.tenant.<name>.*`` registry
+counters when observability is installed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from ..compiler.passes import transpile
+from ..core import Angel, AngelConfig, AngelResult
+from ..exceptions import ServiceError
+from ..exec import Job
+from ..experiments.context import ExperimentContext
+from ..obs import runtime as obs
+from ..programs import get_benchmark
+from .dedup import ProbeDistributionStore
+from .scheduler import DeficitRoundRobin
+from .tenant import TenantConfig, TenantState
+
+__all__ = [
+    "RequestSpec",
+    "CompileOutcome",
+    "RequestHandle",
+    "AngelService",
+    "run_standalone",
+    "replay_workload",
+]
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One compile request, frozen: everything a run is a function of.
+
+    The same spec run through :func:`run_standalone` and through an
+    :class:`AngelService` produces bit-identical results — the spec
+    pins the device build (seed, calibration, drift), the backend and
+    its fault stream, and the ANGEL search seed.
+    """
+
+    program: str
+    shots: int = 1024
+    probe_shots: int = 1024
+    device_name: str = "aspen-11"
+    seed: int = 11
+    calibration_seed: int = 3
+    drift_hours: float = 2.0
+    max_passes: int = 1
+    angel_seed: int = 0
+    backend: str = "local"
+    fault_profile: str = "none"
+    fault_seed: int = 0
+    #: Window-aligned batch admission for remote backends (see
+    #: :meth:`CloudQPUService.align_window`). Part of the spec so the
+    #: standalone reference run takes the identical clock trajectory.
+    align_windows: bool = False
+
+
+@dataclass(frozen=True)
+class CompileOutcome:
+    """What a completed request returns.
+
+    ``final_counts`` are the nativized program's shot counts;
+    ``dedup_hits`` counts probe distributions this request took from
+    the shared store instead of recomputing.
+    """
+
+    spec: RequestSpec
+    tenant: Optional[str]
+    result: AngelResult
+    final_counts: Dict[str, int]
+    probes_run: int
+    dedup_hits: int
+    queue_wait_s: float = 0.0
+    latency_s: float = 0.0
+
+
+class RequestHandle:
+    """Async handle for a submitted request (``concurrent.futures``-ish).
+
+    ``result()`` blocks until the request completes and returns its
+    :class:`CompileOutcome`, re-raising the request's failure if it
+    failed permanently.
+    """
+
+    def __init__(self, tenant: str, spec: RequestSpec) -> None:
+        self.tenant = tenant
+        self.spec = spec
+        self._event = threading.Event()
+        self._outcome: Optional[CompileOutcome] = None
+        self._exception: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> CompileOutcome:
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"request {self.spec.program!r} (tenant {self.tenant!r}) "
+                f"did not complete within {timeout}s"
+            )
+        if self._exception is not None:
+            raise self._exception
+        assert self._outcome is not None
+        return self._outcome
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise ServiceError("request still pending")
+        return self._exception
+
+    def _resolve(
+        self,
+        outcome: Optional[CompileOutcome] = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        self._outcome = outcome
+        self._exception = exception
+        self._event.set()
+
+
+class _Request:
+    """One request's private compile stack, stepped unit by unit.
+
+    Owns an :class:`ExperimentContext` built from the spec (device,
+    calibration, backend, executor), an :class:`AngelProbePlan`, and —
+    after the plan completes — the final nativized shot execution. Both
+    the service and :func:`run_standalone` drive requests through this
+    class, so the two paths cannot diverge.
+    """
+
+    def __init__(
+        self,
+        spec: RequestSpec,
+        store: Optional[ProbeDistributionStore] = None,
+    ) -> None:
+        self.spec = spec
+        self.outcome_counts: Optional[Dict[str, int]] = None
+        self.result: Optional[AngelResult] = None
+        self.context = ExperimentContext.create(
+            device_name=spec.device_name,
+            seed=spec.seed,
+            calibration_seed=spec.calibration_seed,
+            drift_hours=spec.drift_hours,
+            backend=spec.backend,
+            fault_profile=spec.fault_profile,
+            fault_seed=spec.fault_seed,
+        )
+        try:
+            self.executor = self.context.executor
+            backend = self.executor.backend
+            if hasattr(backend, "align_windows"):
+                backend.align_windows = spec.align_windows
+            self.deduped = (
+                store.attach(self.context.device)
+                if store is not None
+                else False
+            )
+            circuit = get_benchmark(spec.program).build()
+            self.angel = Angel(
+                self.context.device,
+                self.context.calibration,
+                AngelConfig(
+                    probe_shots=spec.probe_shots,
+                    max_passes=spec.max_passes,
+                    seed=spec.angel_seed,
+                ),
+                executor=self.executor,
+            )
+            self.compiled = transpile(
+                circuit, self.context.device, self.context.calibration
+            )
+            self.plan = self.angel.plan(self.compiled, observe=True)
+        except BaseException:
+            self.context.close()
+            raise
+
+    @property
+    def finished(self) -> bool:
+        return self.outcome_counts is not None
+
+    @property
+    def cost(self) -> int:
+        """Jobs in the next schedulable unit (final execution costs 1)."""
+        if self.plan.done:
+            return 1
+        return len(self.plan.current_batch)
+
+    def step(self) -> None:
+        """Run the next unit: one probe batch, or the final execution.
+
+        Probe batches go through the executor's grouped (coalescing)
+        path with per-job failure tolerance — failed probes degrade
+        links exactly as in :meth:`Angel.select`. The final job is
+        all-or-nothing: a permanent failure raises and fails the
+        request.
+        """
+        if self.finished:
+            raise ServiceError("request already finished")
+        if not self.plan.done:
+            jobs = self.plan.next_jobs()
+            results = self.executor.submit_grouped(
+                [jobs], allow_failures=True
+            )[0]
+            self.plan.deliver(results)
+            return
+        self.plan.record_outcome(self.executor)
+        self.result = self.plan.result()
+        native = self.angel.nativize(self.compiled, self.result)
+        final_seed = int(self.angel._rng.integers(2**31))
+        final = self.executor.submit(
+            Job(native, self.spec.shots, seed=final_seed, tag="final")
+        )
+        self.outcome_counts = dict(final.counts)
+
+    @property
+    def dedup_hits(self) -> int:
+        cache = getattr(self.context.device, "sim_cache", None)
+        return cache.shared_hits if cache is not None else 0
+
+    @property
+    def probes_run(self) -> int:
+        return self.plan.probes_run
+
+    def close(self) -> None:
+        self.context.close()
+
+
+def run_standalone(
+    spec: RequestSpec,
+    store: Optional[ProbeDistributionStore] = None,
+) -> CompileOutcome:
+    """The reference implementation: one request, start to finish.
+
+    This is the semantics the service is held to — same
+    :class:`_Request` stepping, just sequential and alone. A shared
+    ``store`` may be supplied to reproduce dedup behaviour; hits are
+    exact replays, so the outcome is unchanged either way.
+    """
+    request = _Request(spec, store)
+    try:
+        while not request.finished:
+            request.step()
+        assert request.result is not None
+        return CompileOutcome(
+            spec=spec,
+            tenant=None,
+            result=request.result,
+            final_counts=request.outcome_counts or {},
+            probes_run=request.probes_run,
+            dedup_hits=request.dedup_hits,
+        )
+    finally:
+        request.close()
+
+
+class _ServiceEntry:
+    """One queued request inside the service: spec + handle + timing."""
+
+    def __init__(
+        self,
+        spec: RequestSpec,
+        tenant: TenantState,
+        handle: RequestHandle,
+        store: Optional[ProbeDistributionStore],
+    ) -> None:
+        self.spec = spec
+        self.tenant = tenant
+        self.handle = handle
+        self.store = store
+        self.request: Optional[_Request] = None
+        self.error: Optional[BaseException] = None
+        self.submitted_at = time.monotonic()
+        self.first_step_at: Optional[float] = None
+
+    @property
+    def cost(self) -> int:
+        # Before the request stack exists, the first grant pays for
+        # preparation plus the one-job reference probe.
+        if self.request is None:
+            return 1
+        return self.request.cost
+
+    @property
+    def finished(self) -> bool:
+        return self.request is not None and self.request.finished
+
+    def run_step(self) -> None:
+        """Advance one unit on a pool thread; resolve handle on exit."""
+        try:
+            if self.request is None:
+                self.first_step_at = time.monotonic()
+                self.request = _Request(self.spec, self.store)
+            self.request.step()
+        except BaseException as exc:  # noqa: BLE001 - forwarded to handle
+            self.error = exc
+
+    def queue_wait_s(self) -> float:
+        if self.first_step_at is None:
+            return time.monotonic() - self.submitted_at
+        return self.first_step_at - self.submitted_at
+
+
+class AngelService:
+    """The multi-tenant front door: submit specs, collect outcomes.
+
+    Args:
+        num_workers: Pool threads executing scheduled units — the
+            service's concurrency, orthogonal to any per-request
+            simulation parallelism.
+        round_budget_jobs: Per-round job cap for the DRR scheduler
+            (window-shaped coalescing); ``None`` leaves rounds
+            unbounded.
+        dedup: Share probe distributions across requests through a
+            :class:`ProbeDistributionStore`.
+        tenants: Tenant configurations to pre-register. Unknown tenant
+            names submit under a default config (no rate limit).
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        round_budget_jobs: Optional[int] = None,
+        dedup: bool = True,
+        tenants: Sequence[TenantConfig] = (),
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.store = ProbeDistributionStore() if dedup else None
+        self.scheduler = DeficitRoundRobin(round_budget_jobs)
+        self._tenants: Dict[str, TenantState] = {}
+        for config in tenants:
+            self.add_tenant(config)
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._inflight = 0
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="angel-svc"
+        )
+        self._scheduler_thread = threading.Thread(
+            target=self._run, name="angel-svc-scheduler", daemon=True
+        )
+        self._scheduler_thread.start()
+
+    # ------------------------------------------------------------------
+    # Tenants and submission
+    # ------------------------------------------------------------------
+    def add_tenant(self, config: TenantConfig) -> TenantState:
+        state = self._tenants.get(config.name)
+        if state is not None:
+            raise ServiceError(f"tenant {config.name!r} already registered")
+        state = TenantState(config)
+        self._tenants[config.name] = state
+        return state
+
+    def _tenant_state(self, tenant: Union[str, TenantConfig]) -> TenantState:
+        if isinstance(tenant, TenantConfig):
+            state = self._tenants.get(tenant.name)
+            return state if state is not None else self.add_tenant(tenant)
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self.add_tenant(TenantConfig(tenant))
+        return state
+
+    def submit(
+        self, tenant: Union[str, TenantConfig], spec: RequestSpec
+    ) -> RequestHandle:
+        """Queue one request for ``tenant``; never blocks on execution.
+
+        Raises :class:`~repro.service.tenant.AdmissionError` when the
+        tenant's token bucket is empty.
+        """
+        with self._work:
+            if self._closed:
+                raise ServiceError("service is closed")
+            state = self._tenant_state(tenant)
+            state.admit()
+            handle = RequestHandle(state.name, spec)
+            state.queue.append(
+                _ServiceEntry(spec, state, handle, self.store)
+            )
+            self._inflight += 1
+            self._work.notify_all()
+        return handle
+
+    # ------------------------------------------------------------------
+    # Scheduler loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._work:
+                self._work.wait_for(
+                    lambda: self._closed
+                    or any(t.queue for t in self._tenants.values())
+                )
+                picked = self.scheduler.next_round(
+                    list(self._tenants.values())
+                )
+                if not picked:
+                    if self._closed:
+                        return
+                    continue
+                round_number = self.scheduler.rounds
+            self._execute_round(round_number, picked)
+
+    def _execute_round(self, round_number: int, picked) -> None:
+        tracer = obs.active_tracer()
+        span = (
+            tracer.span(
+                "svc.coalesce",
+                round=round_number,
+                units=len(picked),
+                jobs=sum(entry.cost for _, entry in picked),
+                tenants=len({tenant.name for tenant, _ in picked}),
+            )
+            if tracer
+            else obs.NULL_SPAN
+        )
+        with span:
+            futures = [
+                self._pool.submit(entry.run_step) for _, entry in picked
+            ]
+            wait(futures)
+        with self._work:
+            for tenant, entry in reversed(picked):
+                if entry.error is not None:
+                    self._complete(tenant, entry)
+                elif entry.finished:
+                    self._complete(tenant, entry)
+                else:
+                    # Unfinished requests rejoin at the *front* so a
+                    # tenant's own requests stay FIFO.
+                    tenant.queue.appendleft(entry)
+            self._work.notify_all()
+
+    def _complete(self, tenant: TenantState, entry: _ServiceEntry) -> None:
+        """Resolve a finished/failed entry (service lock held)."""
+        self._inflight -= 1
+        queue_wait = entry.queue_wait_s()
+        latency = time.monotonic() - entry.submitted_at
+        tenant.queue_wait_s.append(queue_wait)
+        tenant.latency_s.append(latency)
+        request = entry.request
+        probes = request.probes_run if request is not None else 0
+        dedup_hits = request.dedup_hits if request is not None else 0
+        failed = entry.error is not None
+        if failed:
+            tenant.failed += 1
+        else:
+            tenant.completed += 1
+            tenant.probes += probes
+            tenant.dedup_hits += dedup_hits
+        self._observe_request(
+            tenant, entry, queue_wait, latency, probes, dedup_hits
+        )
+        if request is not None:
+            try:
+                request.close()
+            except BaseException as exc:  # pragma: no cover - best effort
+                entry.error = entry.error or exc
+        if failed:
+            entry.handle._resolve(exception=entry.error)
+            return
+        assert request is not None and request.result is not None
+        entry.handle._resolve(
+            outcome=CompileOutcome(
+                spec=entry.spec,
+                tenant=tenant.name,
+                result=request.result,
+                final_counts=request.outcome_counts or {},
+                probes_run=probes,
+                dedup_hits=dedup_hits,
+                queue_wait_s=queue_wait,
+                latency_s=latency,
+            )
+        )
+
+    def _observe_request(
+        self,
+        tenant: TenantState,
+        entry: _ServiceEntry,
+        queue_wait: float,
+        latency: float,
+        probes: int,
+        dedup_hits: int,
+    ) -> None:
+        tracer = obs.active_tracer()
+        if tracer:
+            # A summary span: the request ran across many rounds and
+            # threads, so its lifetime cannot be one ``with`` block —
+            # the span's attributes carry the authoritative timings.
+            with tracer.span(
+                "svc.request",
+                tenant=tenant.name,
+                program=entry.spec.program,
+                backend=entry.spec.backend,
+            ) as span:
+                span.set(
+                    queue_wait_s=round(queue_wait, 9),
+                    latency_s=round(latency, 9),
+                    probes=probes,
+                    dedup_hits=dedup_hits,
+                    failed=entry.error is not None,
+                )
+        registry = obs.active_registry()
+        if registry is not None:
+            prefix = f"service.tenant.{tenant.name}"
+            key = "failed" if entry.error is not None else "completed"
+            registry.counter(f"{prefix}.{key}").add(1)
+            registry.counter(f"{prefix}.probes").add(probes)
+            registry.counter(f"{prefix}.dedup_hits").add(dedup_hits)
+            registry.histogram(f"{prefix}.latency_s").observe(latency)
+            registry.histogram(f"{prefix}.queue_wait_s").observe(queue_wait)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted request has resolved."""
+        with self._work:
+            if not self._work.wait_for(
+                lambda: self._inflight == 0, timeout
+            ):
+                raise ServiceError(
+                    f"{self._inflight} requests still in flight after "
+                    f"{timeout}s"
+                )
+
+    def tenant_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant ledgers (admissions, completions, waits, dedup)."""
+        with self._lock:
+            return {
+                name: state.ledger()
+                for name, state in sorted(self._tenants.items())
+            }
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain outstanding work, stop the scheduler, free the pool."""
+        self.drain(timeout)
+        with self._work:
+            if self._closed:
+                return
+            self._closed = True
+            self._work.notify_all()
+        self._scheduler_thread.join(timeout=timeout or 60.0)
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "AngelService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def replay_workload(
+    workload: Mapping[str, Sequence[RequestSpec]],
+    num_workers: int = 2,
+    round_budget_jobs: Optional[int] = None,
+    dedup: bool = True,
+    tenants: Sequence[TenantConfig] = (),
+    service: Optional[AngelService] = None,
+) -> Dict[str, List[Union[CompileOutcome, BaseException]]]:
+    """Submit a whole multi-tenant workload and collect every outcome.
+
+    ``workload`` maps tenant name to that tenant's request specs, in
+    submission order. Failed requests come back as their exception in
+    the corresponding slot (a flaky tenant failing must not sink the
+    replay). Creates and closes a service unless one is passed in.
+    """
+    owned = service is None
+    if service is None:
+        service = AngelService(
+            num_workers=num_workers,
+            round_budget_jobs=round_budget_jobs,
+            dedup=dedup,
+            tenants=tenants,
+        )
+    try:
+        handles = {
+            name: [service.submit(name, spec) for spec in specs]
+            for name, specs in workload.items()
+        }
+        service.drain()
+        results: Dict[str, List[Union[CompileOutcome, BaseException]]] = {}
+        for name, tenant_handles in handles.items():
+            slots: List[Union[CompileOutcome, BaseException]] = []
+            for handle in tenant_handles:
+                try:
+                    slots.append(handle.result())
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    slots.append(exc)
+            results[name] = slots
+        return results
+    finally:
+        if owned:
+            service.close()
+
+
+def _spec_variants(
+    base: RequestSpec, count: int, programs: Sequence[str]
+) -> List[RequestSpec]:
+    """``count`` specs cycling through ``programs`` (workload helper)."""
+    return [
+        replace(base, program=programs[index % len(programs)])
+        for index in range(count)
+    ]

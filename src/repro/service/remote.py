@@ -106,6 +106,11 @@ class RemoteBackend:
         policy: Retry/deadline/breaker tunables.
         seed: Seed for backoff jitter (kept separate from the service's
             fault stream and the device's physics).
+        align_windows: Ask the service for window-aligned batch
+            admission — batches that would bounce off the calibration
+            window's job quota instead wait (simulated time) for a
+            fresh window. Off by default: alignment changes the clock
+            trajectory, so it is opt-in for schedulers that own it.
     """
 
     def __init__(
@@ -113,9 +118,11 @@ class RemoteBackend:
         service: CloudQPUService,
         policy: Optional[RetryPolicy] = None,
         seed: int = 0,
+        align_windows: bool = False,
     ) -> None:
         self.service = service
         self.policy = policy or RetryPolicy()
+        self.align_windows = align_windows
         self._jitter_rng = np.random.default_rng(seed)
         # Client-side reliability counters (diffed into ExecutorStats).
         self.retries = 0
@@ -295,6 +302,7 @@ class RemoteBackend:
                         [jobs[i] for i in pending],
                         parallel=parallel,
                         max_workers=max_workers,
+                        align_window=self.align_windows,
                     )
                 except TransientServiceError as exc:
                     still_pending = pending  # whole batch bounced

@@ -173,6 +173,11 @@ class SimulationCache:
         self.dist_hits = 0
         self.dist_misses = 0
         self.dist_evictions = 0
+        # Optional cross-device distribution store (multi-tenant dedup).
+        self._shared_store = None
+        self._shared_key: Optional[Callable[[], object]] = None
+        self.shared_hits = 0
+        self.shared_publishes = 0
         self.lower_hits = 0
         self.lower_misses = 0
         self.ops_replayed = 0
@@ -190,6 +195,32 @@ class SimulationCache:
         self.prefix.invalidate()
         self.epoch = epoch
         self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Cross-device sharing (multi-tenant probe dedup)
+    # ------------------------------------------------------------------
+    def attach_shared_store(
+        self, store, state_key: Callable[[], object]
+    ) -> None:
+        """Consult/publish exact distributions through a shared store.
+
+        ``store`` needs ``get(key)``/``put(key, distribution)`` (e.g.
+        :class:`~repro.service.dedup.ProbeDistributionStore`);
+        ``state_key`` is called per lookup and must change whenever this
+        device's physics change (the device's ``parameter_fingerprint``).
+        Unlike the local levels, shared entries are keyed by the *full*
+        physics state rather than flushed on epoch bumps, so one
+        request's computed distribution outlives its epoch and serves
+        any other request whose device reaches the identical state —
+        exactness is inherited from the local memo contract (a shared
+        hit is the same dict the owning device computed).
+        """
+        self._shared_store = store
+        self._shared_key = state_key
+
+    def detach_shared_store(self) -> None:
+        self._shared_store = None
+        self._shared_key = None
 
     # ------------------------------------------------------------------
     # The cached distribution pipeline
@@ -226,6 +257,15 @@ class SimulationCache:
             self.dist_hits += 1
             return dict(cached)
         self.dist_misses += 1
+        if self._shared_store is not None:
+            shared = self._shared_store.get((self._shared_key(), key))
+            if shared is not None:
+                self.shared_hits += 1
+                while len(self._distributions) >= self.max_distributions:
+                    self._distributions.popitem(last=False)
+                    self.dist_evictions += 1
+                self._distributions[key] = dict(shared)
+                return dict(shared)
         lowered = self._lower(
             circuit, fingerprint, operation_compiler, noise_callback,
             placement,
@@ -247,6 +287,9 @@ class SimulationCache:
             self._distributions.popitem(last=False)
             self.dist_evictions += 1
         self._distributions[key] = result
+        if self._shared_store is not None:
+            self._shared_store.put((self._shared_key(), key), result)
+            self.shared_publishes += 1
         return dict(result)
 
     def _lower(
@@ -331,6 +374,8 @@ class SimulationCache:
             "lower_misses": self.lower_misses,
             "ops_replayed": self.ops_replayed,
             "ops_skipped": self.ops_skipped,
+            "dist_shared_hits": self.shared_hits,
+            "dist_shared_publishes": self.shared_publishes,
             "sim_invalidations": self.invalidations,
             "sim_epoch": self.epoch,
         }
