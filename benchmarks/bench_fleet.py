@@ -1,0 +1,255 @@
+"""Fleet scaling benchmark: probe throughput across device replicas.
+
+Standalone script (no pytest-benchmark dependency) replaying the same
+multi-tenant workload through :class:`~repro.service.AngelService` at
+increasing fleet sizes — 1, 2 (and 4 in full mode) independently
+drifting Aspen replicas behind the affinity-aware
+:class:`~repro.fleet.FleetRouter` — and measuring:
+
+* **probe throughput** — executed probe jobs per second of *device
+  makespan*: the busiest replica's cumulative simulated device time is
+  the fleet's critical path, and sharding the workload across more
+  replicas shortens it. This is the capacity a real fleet buys —
+  devices, not host CPU, are the scarce resource (the emulator
+  compresses device time, so wall-clock throughput on one GIL-bound
+  host is reported but only informational). Service workers are sized
+  to the fleet (``workers = replicas``).
+* **affinity-hit ratio** — fraction of placements the router served
+  from stickiness or prefix/tenant affinity rather than pure load
+  balancing (from the router's own counters).
+* **results unchanged** — every outcome is compared bit-for-bit
+  (sequence, trace, final counts) against
+  :func:`~repro.service.run_standalone` on the replica-adjusted spec
+  of the replica it actually ran on, pinning the fleet's core
+  invariant under load.
+
+Each tenant compiles its own program with its own device seed, so
+cross-tenant dedup never confounds the scaling measurement (a 1-replica
+fleet would otherwise dedup strictly more than a sharded one).
+
+Writes ``BENCH_fleet.json`` in the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--smoke] [--check]
+
+``--smoke`` trims budgets and fleet sizes for CI runners. The
+acceptance bar (``--check``): zero failed requests, every outcome
+bit-identical to its per-replica standalone reference, an affinity-hit
+ratio > 0 at the largest fleet, and probe throughput at the largest
+fleet at least matching the 1-replica fleet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.fleet import FleetSpec
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs import runtime as obs
+from repro.service import (
+    AngelService,
+    RequestSpec,
+    TenantConfig,
+    replay_workload,
+    run_standalone,
+)
+
+_PROGRAMS = ("GHZ_n4", "BV_n4", "QAOA_n5", "GHZ_n5")
+
+
+def _build_workload(tenants, requests_per_tenant, shots, probe_shots):
+    """Per-tenant distinct programs and seeds (no cross-tenant overlap)."""
+    workload = {}
+    for index in range(tenants):
+        spec = RequestSpec(
+            program=_PROGRAMS[index % len(_PROGRAMS)],
+            shots=shots,
+            probe_shots=probe_shots,
+            seed=11 + 17 * index,
+            drift_hours=2.0,
+        )
+        workload[f"tenant-{index}"] = [
+            replace(spec) for _ in range(requests_per_tenant)
+        ]
+    return workload
+
+
+def _outcome_matches(outcome, reference) -> bool:
+    return (
+        outcome.result.sequence == reference.result.sequence
+        and outcome.result.trace == reference.result.trace
+        and outcome.final_counts == reference.final_counts
+        and outcome.probes_run == reference.probes_run
+    )
+
+
+def run_fleet(fleet_size, workload, stagger_hours):
+    fleet = FleetSpec.create(fleet_size, stagger_hours=stagger_hours)
+    total_requests = sum(len(specs) for specs in workload.values())
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    previous = obs.install(tracer, registry)
+    service = AngelService(
+        num_workers=fleet_size,
+        tenants=tuple(TenantConfig(name) for name in sorted(workload)),
+        fleet=fleet,
+    )
+    start = time.perf_counter()
+    try:
+        outcomes = replay_workload(workload, service=service)
+    finally:
+        elapsed = time.perf_counter() - start
+        service.close()
+        obs.uninstall(previous)
+
+    # Bit-equivalence audit against the replica-adjusted standalone
+    # reference of whichever replica each request actually landed on.
+    references = {}
+    failed = mismatches = probes = dedup_hits = 0
+    for name in sorted(outcomes):
+        for slot, spec in zip(outcomes[name], workload[name]):
+            if isinstance(slot, BaseException):
+                failed += 1
+                continue
+            adjusted = fleet.replicas[slot.fleet_replica].adjust(spec)
+            key = (adjusted, slot.fleet_replica)
+            if key not in references:
+                references[key] = run_standalone(adjusted)
+            if not _outcome_matches(slot, references[key]):
+                mismatches += 1
+            probes += slot.probes_run
+            dedup_hits += slot.dedup_hits
+
+    report = service.fleet_report()
+    router = report["router"]
+    makespan_s = max(
+        r["device_time_us"] for r in report["replicas"]
+    ) / 1e6
+    return {
+        "fleet_size": fleet_size,
+        "workers": fleet_size,
+        "requests": total_requests,
+        "failed": failed,
+        "wall_time_s": elapsed,
+        "throughput_rps": total_requests / elapsed if elapsed else 0.0,
+        "wall_probe_jobs_per_s": probes / elapsed if elapsed else 0.0,
+        "device_makespan_s": makespan_s,
+        "probe_jobs_per_device_s": (
+            probes / makespan_s if makespan_s else 0.0
+        ),
+        "probes": probes,
+        "dedup_hits": dedup_hits,
+        "affinity_hit_ratio": router["affinity_hit_ratio"],
+        "migrations": router["migrations"],
+        "placements_by_reason": router["by_reason"],
+        "per_replica_jobs": {
+            r["name"]: r["jobs"] for r in report["replicas"]
+        },
+        "results_unchanged": mismatches == 0,
+    }
+
+
+def run(fleet_sizes, tenants, requests_per_tenant, shots, probe_shots,
+        stagger_hours):
+    workload = _build_workload(
+        tenants, requests_per_tenant, shots, probe_shots
+    )
+    runs = [
+        run_fleet(size, workload, stagger_hours) for size in fleet_sizes
+    ]
+    base = runs[0]["probe_jobs_per_device_s"]
+    peak = runs[-1]["probe_jobs_per_device_s"]
+    return {
+        "benchmark": "fleet_scaling",
+        "workload": (
+            f"{tenants} tenants x {requests_per_tenant} requests "
+            f"(distinct program+seed per tenant) @ {shots} shots, "
+            f"{probe_shots} probe shots; stagger {stagger_hours}h"
+        ),
+        "fleet_sizes": list(fleet_sizes),
+        "runs": runs,
+        "throughput_scaling": peak / base if base else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced budgets and fleet sizes for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless no request failed, every outcome is "
+        "bit-identical to its per-replica standalone reference, the "
+        "affinity-hit ratio is > 0, and throughput does not collapse "
+        "with fleet size",
+    )
+    args = parser.parse_args(argv)
+
+    fleet_sizes = (1, 2) if args.smoke else (1, 2, 4)
+    tenants = 4 if args.smoke else 8
+    requests_per_tenant = 2 if args.smoke else 3
+    shots = 128 if args.smoke else 1024
+    probe_shots = 64 if args.smoke else 256
+    report = run(
+        fleet_sizes, tenants, requests_per_tenant, shots, probe_shots,
+        stagger_hours=3.0,
+    )
+
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"workload   : {report['workload']}")
+    for entry in report["runs"]:
+        print(
+            f"fleet={entry['fleet_size']}: "
+            f"{entry['probe_jobs_per_device_s']:.2f} probe jobs per "
+            f"device-second (makespan {entry['device_makespan_s']:.2f}s, "
+            f"wall {entry['wall_time_s']:.2f}s), affinity "
+            f"{entry['affinity_hit_ratio']:.1%}, "
+            f"{entry['migrations']} migrations, unchanged "
+            f"{entry['results_unchanged']}"
+        )
+    print(f"scaling    : x{report['throughput_scaling']:.2f} probe "
+          f"throughput from fleet=1 to fleet={report['fleet_sizes'][-1]}")
+    print(f"written    : {out_path}")
+
+    if args.check:
+        failed = sum(entry["failed"] for entry in report["runs"])
+        if failed:
+            print(f"FAIL: {failed} requests failed", file=sys.stderr)
+            return 1
+        if not all(e["results_unchanged"] for e in report["runs"]):
+            print(
+                "FAIL: fleet outcomes differ from per-replica "
+                "standalone runs",
+                file=sys.stderr,
+            )
+            return 1
+        if report["runs"][-1]["affinity_hit_ratio"] <= 0.0:
+            print(
+                "FAIL: router never placed by affinity", file=sys.stderr
+            )
+            return 1
+        if report["throughput_scaling"] < 1.1:
+            print(
+                "FAIL: device-time probe throughput did not scale with "
+                f"fleet size (x{report['throughput_scaling']:.2f})",
+                file=sys.stderr,
+            )
+            return 1
+        print("CHECK: fleet bench within acceptance bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from .drift_study import (
     fig21_repeated_executions,
     fig22_best_sequence_stability,
 )
+from .fleet_transfer import fleet_transfer_study
 from .main_eval import (
     fig18_main_evaluation,
     fig18_multi_seed,
@@ -73,4 +74,5 @@ __all__ = [
     "ablation_link_order",
     "extension_cdr_composition",
     "extension_multi_pass",
+    "fleet_transfer_study",
 ]

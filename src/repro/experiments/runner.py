@@ -32,6 +32,7 @@ from .drift_study import (
     fig21_repeated_executions,
     fig22_best_sequence_stability,
 )
+from .fleet_transfer import fleet_transfer_study
 from .main_eval import (
     fig18_main_evaluation,
     fig18_multi_seed,
@@ -70,6 +71,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "extension_cdr": extension_cdr_composition,
     "extension_passes": extension_multi_pass,
     "fig18_multi": fig18_multi_seed,
+    "fleet_transfer": fleet_transfer_study,
 }
 
 
@@ -115,13 +117,17 @@ def _replay_tenants(
     backend: str,
     fault_profile: str,
     fault_seed: int,
+    fleet: int = 0,
 ) -> int:
     """``--tenants N`` mode: replay the Table I mix through the compile
-    service, N synthetic tenants each compiling the standard programs."""
+    service, N synthetic tenants each compiling the standard programs.
+    ``--fleet M`` routes the same workload across M drifting replicas."""
     from ..service import RequestSpec, TenantConfig, replay_workload
 
     if tenants < 1:
         raise ReproError("--tenants must be >= 1")
+    if fleet < 0:
+        raise ReproError("--fleet must be >= 0")
     programs = ("GHZ_n4", "BV_n4", "QAOA_n5")
     workload = {
         f"tenant-{index}": [
@@ -138,11 +144,17 @@ def _replay_tenants(
         ]
         for index in range(tenants)
     }
-    outcomes = replay_workload(
-        workload,
-        num_workers=min(4, tenants),
+    from ..service import AngelService
+
+    service = AngelService(
+        num_workers=min(4, max(tenants, fleet or 1)),
         tenants=tuple(TenantConfig(name) for name in sorted(workload)),
+        fleet=fleet or None,
     )
+    try:
+        outcomes = replay_workload(workload, service=service)
+    finally:
+        service.close()
     total = failed = probes = dedup_hits = 0
     for name in sorted(outcomes):
         slots = outcomes[name]
@@ -161,6 +173,19 @@ def _replay_tenants(
         f"total: {total} requests ({failed} failed), {probes} probes, "
         f"{dedup_hits} dedup hits ({ratio:.1%})"
     )
+    report = service.fleet_report()
+    if report is not None:
+        for replica in report["replicas"]:
+            print(
+                f"{replica['name']}: {replica['placements']} requests, "
+                f"{replica['jobs']} jobs, peak queue "
+                f"{replica['peak_queue_depth']}"
+            )
+        router = report["router"]
+        print(
+            f"router: {router['migrations']} migrations, affinity-hit "
+            f"ratio {router['affinity_hit_ratio']:.1%}"
+        )
     return 0
 
 
@@ -184,10 +209,15 @@ def main(argv: Optional[list] = None) -> int:
     fault_seed = int(_pop_option(argv, "--fault-seed", "0"))
     max_workers_raw = _pop_option(argv, "--max-workers", "")
     max_workers = int(max_workers_raw) if max_workers_raw else None
+    fleet_raw = _pop_option(argv, "--fleet", "")
     tenants_raw = _pop_option(argv, "--tenants", "")
     if tenants_raw:
         return _replay_tenants(
-            int(tenants_raw), backend, fault_profile, fault_seed
+            int(tenants_raw),
+            backend,
+            fault_profile,
+            fault_seed,
+            fleet=int(fleet_raw) if fleet_raw else 0,
         )
     if not argv or argv[0] in ("-h", "--help"):
         print(
@@ -195,7 +225,7 @@ def main(argv: Optional[list] = None) -> int:
             "[--backend local|remote] [--fault-profile NAME] "
             "[--fault-seed N] [--no-sim-cache] [--parallel] "
             "[--max-workers N] [--trace FILE] [--metrics] "
-            "[--tenants N] <experiment-id>..."
+            "[--tenants N [--fleet M]] <experiment-id>..."
         )
         print("known experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0

@@ -1,0 +1,34 @@
+"""Device fleet: sharded probe execution across drifting Aspen replicas.
+
+The multi-device capacity tier above the compile service. A *fleet* is
+N emulated Aspen chips — same topology preset, independent seeded
+drift processes, staggered calibration cadences, optional per-replica
+cloud fault profiles — behind one Backend-compatible facade. The
+:class:`FleetRouter` places whole probe-batch groups by queue depth,
+calibration-window freshness, and ``instruction_hash_chain`` prefix
+affinity, with sticky request→replica bindings so each request's
+device-clock trajectory stays coherent; the cross-tenant probe
+deduplication store is partitioned per replica (fingerprints never
+match across replicas).
+
+A 1-replica fleet is bit-identical to running without one — replica 0
+is always the identity adjustment — and a pinned request's outcome is
+independent of how other tenants' batches are routed. See
+``docs/architecture.md`` ("Device fleet") and the cross-device
+transfer study (``repro.experiments.fleet_transfer``).
+"""
+
+from .replica import FleetReplica, FleetSpec, ReplicaSpec
+from .router import FleetRouter, PlacementDecision
+from .service import FleetBackend, FleetService, ReplicaBinding
+
+__all__ = [
+    "ReplicaSpec",
+    "FleetSpec",
+    "FleetReplica",
+    "FleetRouter",
+    "PlacementDecision",
+    "FleetBackend",
+    "FleetService",
+    "ReplicaBinding",
+]

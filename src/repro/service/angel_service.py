@@ -29,9 +29,17 @@ deduplication:
   state and replayed exactly everywhere else, with per-tenant
   ``dedup_hits`` ledgers.
 
+* **Fleet mode** — with ``fleet=N`` the service fronts a device fleet
+  (:mod:`repro.fleet`): requests are routed to independently drifting
+  Aspen replicas by an affinity-aware router, and the dedup store is
+  partitioned per replica. A 1-replica fleet stays bit-identical to
+  :func:`run_standalone`, and a pinned request's outcome is
+  independent of how other tenants' requests are routed.
+
 The request lifecycle emits a ``svc.request`` summary span (queue wait,
 latency, probes, dedup hits) and ``service.tenant.<name>.*`` registry
-counters when observability is installed.
+counters when observability is installed; fleet mode adds ``fleet.*``
+spans, events, and per-replica counters.
 """
 
 from __future__ import annotations
@@ -46,7 +54,9 @@ from ..compiler.passes import transpile
 from ..core import Angel, AngelConfig, AngelResult
 from ..exceptions import ServiceError
 from ..exec import Job
+from ..exec.executor import BatchExecutor
 from ..experiments.context import ExperimentContext
+from ..fleet import FleetService, FleetSpec, ReplicaBinding
 from ..obs import runtime as obs
 from ..programs import get_benchmark
 from .dedup import ProbeDistributionStore
@@ -89,6 +99,12 @@ class RequestSpec:
     #: :meth:`CloudQPUService.align_window`). Part of the spec so the
     #: standalone reference run takes the identical clock trajectory.
     align_windows: bool = False
+    #: Pin this request to one fleet replica (index into the fleet).
+    #: ``None`` lets the :class:`~repro.fleet.FleetRouter` choose.
+    #: Ignored outside fleet mode — :func:`run_standalone` always runs
+    #: the spec as written; the fleet reference for a pinned request is
+    #: ``run_standalone(fleet.spec.replicas[i].adjust(spec))``.
+    replica: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -108,6 +124,9 @@ class CompileOutcome:
     dedup_hits: int
     queue_wait_s: float = 0.0
     latency_s: float = 0.0
+    #: Fleet replica index the request ran on (``None`` outside fleet
+    #: mode) — lets audits pick the right standalone reference.
+    fleet_replica: Optional[int] = None
 
 
 class RequestHandle:
@@ -170,24 +189,54 @@ class _Request:
         self,
         spec: RequestSpec,
         store: Optional[ProbeDistributionStore] = None,
+        fleet: Optional[FleetService] = None,
+        request_key: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         self.spec = spec
         self.outcome_counts: Optional[Dict[str, int]] = None
         self.result: Optional[AngelResult] = None
-        self.context = ExperimentContext.create(
-            device_name=spec.device_name,
-            seed=spec.seed,
-            calibration_seed=spec.calibration_seed,
-            drift_hours=spec.drift_hours,
-            backend=spec.backend,
-            fault_profile=spec.fault_profile,
-            fault_seed=spec.fault_seed,
-        )
+        self.fleet = fleet
+        self.binding: Optional[ReplicaBinding] = None
+        if fleet is not None:
+            # Bind lazily at build time (the request's first scheduling
+            # grant) so the router sees live queue depths. The binding
+            # replaces the shared store with the replica's partition
+            # and rewrites the device recipe to the replica's.
+            self.binding = fleet.bind(
+                request_key or f"anonymous/{id(self):x}", tenant, spec
+            )
+            effective = self.binding.adjusted(spec)
+            store = self.binding.replica.store
+        else:
+            effective = spec
+        try:
+            self.context = ExperimentContext.create(
+                device_name=effective.device_name,
+                seed=effective.seed,
+                calibration_seed=effective.calibration_seed,
+                drift_hours=effective.drift_hours,
+                backend=effective.backend,
+                fault_profile=effective.fault_profile,
+                fault_seed=effective.fault_seed,
+            )
+        except BaseException:
+            self._release_binding()
+            raise
         try:
             self.executor = self.context.executor
             backend = self.executor.backend
             if hasattr(backend, "align_windows"):
                 backend.align_windows = spec.align_windows
+            if self.binding is not None:
+                # Same backend, same jobs, same order — the fleet facade
+                # only adds per-replica accounting, so results stay
+                # bit-identical to the unwrapped path.
+                self.executor = BatchExecutor(
+                    self.binding.wrap_backend(backend),
+                    mode=self.executor.mode,
+                    max_workers=self.executor.max_workers,
+                )
             self.deduped = (
                 store.attach(self.context.device)
                 if store is not None
@@ -209,6 +258,7 @@ class _Request:
             )
             self.plan = self.angel.plan(self.compiled, observe=True)
         except BaseException:
+            self._release_binding()
             self.context.close()
             raise
 
@@ -259,7 +309,13 @@ class _Request:
     def probes_run(self) -> int:
         return self.plan.probes_run
 
+    def _release_binding(self) -> None:
+        if self.fleet is not None and self.binding is not None:
+            self.fleet.release(self.binding)
+            self.binding = None
+
     def close(self) -> None:
+        self._release_binding()
         self.context.close()
 
 
@@ -300,11 +356,15 @@ class _ServiceEntry:
         tenant: TenantState,
         handle: RequestHandle,
         store: Optional[ProbeDistributionStore],
+        fleet: Optional[FleetService] = None,
+        request_key: Optional[str] = None,
     ) -> None:
         self.spec = spec
         self.tenant = tenant
         self.handle = handle
         self.store = store
+        self.fleet = fleet
+        self.request_key = request_key
         self.request: Optional[_Request] = None
         self.error: Optional[BaseException] = None
         self.submitted_at = time.monotonic()
@@ -327,7 +387,13 @@ class _ServiceEntry:
         try:
             if self.request is None:
                 self.first_step_at = time.monotonic()
-                self.request = _Request(self.spec, self.store)
+                self.request = _Request(
+                    self.spec,
+                    self.store,
+                    fleet=self.fleet,
+                    request_key=self.request_key,
+                    tenant=self.tenant.name,
+                )
             self.request.step()
         except BaseException as exc:  # noqa: BLE001 - forwarded to handle
             self.error = exc
@@ -352,6 +418,13 @@ class AngelService:
             :class:`ProbeDistributionStore`.
         tenants: Tenant configurations to pre-register. Unknown tenant
             names submit under a default config (no rate limit).
+        fleet: Run in fleet mode — an ``int`` (``FleetSpec.create(n)``),
+            a :class:`~repro.fleet.FleetSpec`, or a prebuilt
+            :class:`~repro.fleet.FleetService`. Requests are routed to
+            drifting device replicas and the dedup store is partitioned
+            per replica (``store`` stays ``None``).
+        fleet_placements: Recorded ``{request_key: replica_index}``
+            placements to replay verbatim (fleet mode only).
     """
 
     def __init__(
@@ -360,11 +433,24 @@ class AngelService:
         round_budget_jobs: Optional[int] = None,
         dedup: bool = True,
         tenants: Sequence[TenantConfig] = (),
+        fleet: Optional[Union[int, FleetSpec, FleetService]] = None,
+        fleet_placements: Optional[Mapping[str, int]] = None,
     ) -> None:
         if num_workers < 1:
             raise ServiceError("num_workers must be >= 1")
         self.num_workers = num_workers
-        self.store = ProbeDistributionStore() if dedup else None
+        if fleet is not None and not isinstance(fleet, FleetService):
+            fleet = FleetService(
+                fleet,
+                dedup=dedup,
+                replay=(
+                    dict(fleet_placements) if fleet_placements else None
+                ),
+            )
+        self.fleet: Optional[FleetService] = fleet
+        self.store = (
+            ProbeDistributionStore() if dedup and fleet is None else None
+        )
         self.scheduler = DeficitRoundRobin(round_budget_jobs)
         self._tenants: Dict[str, TenantState] = {}
         for config in tenants:
@@ -415,8 +501,18 @@ class AngelService:
             state = self._tenant_state(tenant)
             state.admit()
             handle = RequestHandle(state.name, spec)
+            # Deterministic per-tenant key: replayable placements need
+            # the same request to carry the same key across runs.
+            request_key = f"{state.name}/{state.submitted}"
             state.queue.append(
-                _ServiceEntry(spec, state, handle, self.store)
+                _ServiceEntry(
+                    spec,
+                    state,
+                    handle,
+                    self.store,
+                    fleet=self.fleet,
+                    request_key=request_key,
+                )
             )
             self._inflight += 1
             self._work.notify_all()
@@ -482,6 +578,11 @@ class AngelService:
         request = entry.request
         probes = request.probes_run if request is not None else 0
         dedup_hits = request.dedup_hits if request is not None else 0
+        replica = (
+            request.binding.index
+            if request is not None and request.binding is not None
+            else None
+        )
         failed = entry.error is not None
         if failed:
             tenant.failed += 1
@@ -511,6 +612,7 @@ class AngelService:
                 dedup_hits=dedup_hits,
                 queue_wait_s=queue_wait,
                 latency_s=latency,
+                fleet_replica=replica,
             )
         )
 
@@ -573,6 +675,32 @@ class AngelService:
                 for name, state in sorted(self._tenants.items())
             }
 
+    def fleet_report(self) -> Optional[Dict[str, object]]:
+        """Per-replica ledgers and router counters (``None`` off-fleet)."""
+        return self.fleet.report() if self.fleet is not None else None
+
+    def store_stats(self) -> List[Dict[str, object]]:
+        """Probe-distribution store counters, one row per partition.
+
+        One row for the shared store, or one per fleet replica — each
+        with the replica label attached so the serve summary can render
+        the partitioning.
+        """
+        if self.fleet is not None:
+            rows = []
+            for replica in self.fleet.replicas:
+                if replica.store is None:
+                    continue
+                row: Dict[str, object] = {"partition": replica.name}
+                row.update(replica.store.stats())
+                rows.append(row)
+            return rows
+        if self.store is None:
+            return []
+        row = {"partition": "shared"}
+        row.update(self.store.stats())
+        return [row]
+
     def close(self, timeout: Optional[float] = None) -> None:
         """Drain outstanding work, stop the scheduler, free the pool."""
         self.drain(timeout)
@@ -598,6 +726,8 @@ def replay_workload(
     dedup: bool = True,
     tenants: Sequence[TenantConfig] = (),
     service: Optional[AngelService] = None,
+    fleet: Optional[Union[int, FleetSpec, FleetService]] = None,
+    fleet_placements: Optional[Mapping[str, int]] = None,
 ) -> Dict[str, List[Union[CompileOutcome, BaseException]]]:
     """Submit a whole multi-tenant workload and collect every outcome.
 
@@ -613,6 +743,8 @@ def replay_workload(
             round_budget_jobs=round_budget_jobs,
             dedup=dedup,
             tenants=tenants,
+            fleet=fleet,
+            fleet_placements=fleet_placements,
         )
     try:
         handles = {

@@ -18,7 +18,20 @@ from typing import Deque, Dict, List, Optional
 
 from ..exceptions import ServiceError
 
-__all__ = ["AdmissionError", "TenantConfig", "TokenBucket", "TenantState"]
+__all__ = [
+    "AdmissionError",
+    "TenantConfig",
+    "TokenBucket",
+    "TenantState",
+    "MIN_RETRY_AFTER_S",
+]
+
+#: Floor for admission retry hints. Under burst arrivals the bucket can
+#: refill between a failed ``try_acquire`` and the ``retry_after_s``
+#: probe, which would otherwise hand clients a zero (or, with a very
+#: high refill rate, sub-microsecond) hint — and a zero hint turns
+#: polite backoff into a hot retry loop.
+MIN_RETRY_AFTER_S = 1e-3
 
 
 class AdmissionError(ServiceError):
@@ -101,12 +114,20 @@ class TokenBucket:
             return False
 
     def retry_after_s(self, now: Optional[float] = None) -> float:
-        """Host seconds until one token will have refilled."""
+        """Host seconds until one token will have refilled.
+
+        Returns ``0.0`` only when a token is available *right now*;
+        otherwise the hint is clamped to at least
+        :data:`MIN_RETRY_AFTER_S` so callers never busy-spin on a
+        zero/negative wait.
+        """
         with self._lock:
             self._refill(now if now is not None else time.monotonic())
             if self._tokens >= 1.0:
                 return 0.0
-            return (1.0 - self._tokens) / self.rate
+            return max(
+                MIN_RETRY_AFTER_S, (1.0 - self._tokens) / self.rate
+            )
 
 
 class TenantState:
@@ -147,7 +168,12 @@ class TenantState:
         self.submitted += 1
         if self.bucket is not None and not self.bucket.try_acquire():
             self.rejected += 1
-            retry_after = self.bucket.retry_after_s()
+            # The bucket may have refilled since try_acquire failed
+            # (burst arrivals race the refill clock); this admission
+            # still bounced, so the hint must stay positive.
+            retry_after = max(
+                MIN_RETRY_AFTER_S, self.bucket.retry_after_s()
+            )
             raise AdmissionError(
                 f"tenant {self.name!r} admission bucket empty "
                 f"(rate {self.config.rate}/s, burst {self.config.burst}); "

@@ -273,6 +273,55 @@ def test_deficit_round_robin_round_budget_soft_cap():
     assert len(state.queue) == 8
 
 
+def test_deficit_round_robin_mid_round_drain_forfeits_deficit():
+    # Quantum 6 covers both of a's units with 3 credit to spare; the
+    # moment the queue drains mid-round the leftover is forfeited, so a
+    # cannot bank idle credit against tenants that stay backlogged.
+    a = _tenant("a", 6, [2, 1])
+    b = _tenant("b", 2, [2, 2])
+    scheduler = DeficitRoundRobin()
+    picked = scheduler.next_round([a, b])
+    assert [(t.name, e.cost) for t, e in picked] == [
+        ("a", 2),
+        ("a", 1),
+        ("b", 2),
+    ]
+    assert a.deficit == 0.0  # not the leftover 3
+    # New work next round starts from zero credit: one quantum only.
+    a.queue.extend(_Unit(cost) for cost in [5, 2])
+    picked = scheduler.next_round([a, b])
+    assert [(t.name, e.cost) for t, e in picked] == [("b", 2), ("a", 5)]
+    assert a.deficit == pytest.approx(1.0)
+    assert len(a.queue) == 1  # the 2-job tail could not ride the drain
+
+
+def test_deficit_round_robin_empty_tenant_never_accrues_or_starves():
+    # An always-empty tenant is excluded from the round entirely: it
+    # accrues no deficit (no unbounded credit to spend on arrival) and
+    # the backlogged tenant is never held back by its presence.
+    idle = _tenant("idle", 1000, [])
+    busy = _tenant("busy", 2, [2] * 4)
+    scheduler = DeficitRoundRobin()
+    scheduled = []
+    for _ in range(4):
+        picked = scheduler.next_round([idle, busy])
+        scheduled.extend((t.name, e.cost) for t, e in picked)
+        assert idle.deficit == 0.0
+    assert scheduled == [("busy", 2)] * 4
+    assert not busy.queue
+    # When the idle tenant finally submits, it competes from a clean
+    # slate: exactly one fresh quantum of credit — 4 idle rounds banked
+    # nothing — and the busy tenant still gets served the same round.
+    idle.queue.extend(_Unit(cost) for cost in [1, 1500])
+    busy.queue.append(_Unit(2))
+    picked = scheduler.next_round([idle, busy])
+    assert [(t.name, e.cost) for t, e in picked] == [
+        ("idle", 1),
+        ("busy", 2),
+    ]
+    assert idle.deficit == pytest.approx(999.0)
+
+
 # ---------------------------------------------------------------------------
 # Admission control
 # ---------------------------------------------------------------------------
@@ -287,6 +336,24 @@ def test_token_bucket_deterministic_clock():
     assert bucket.try_acquire(now=10.0)  # refill caps at burst...
     assert bucket.try_acquire(now=10.0)
     assert not bucket.try_acquire(now=10.0)  # ...not at 9 banked tokens
+
+
+def test_retry_after_hint_clamped_to_positive_floor():
+    from repro.service.tenant import MIN_RETRY_AFTER_S
+
+    # A very fast bucket refills in nanoseconds; the raw hint
+    # (1 - tokens) / rate would round to ~0 and turn client backoff
+    # into a hot retry loop. The hint is clamped to the floor instead.
+    bucket = TokenBucket(rate=1e9, burst=1, now=0.0)
+    assert bucket.try_acquire(now=0.0)
+    hint = bucket.retry_after_s(now=0.0)
+    assert hint >= MIN_RETRY_AFTER_S
+    # 0.0 is reserved for "a token is available right now".
+    assert bucket.retry_after_s(now=1.0) == 0.0
+    slow = TokenBucket(rate=0.5, burst=1, now=0.0)
+    assert slow.try_acquire(now=0.0)
+    # Genuine waits are never shrunk by the clamp.
+    assert slow.retry_after_s(now=0.0) == pytest.approx(2.0)
 
 
 def test_admission_error_carries_retry_hint():

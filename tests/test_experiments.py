@@ -54,6 +54,7 @@ class TestRegistry:
             "fig22", "table1", "table2",
             "ablation_budget", "ablation_shots", "ablation_order",
             "extension_cdr", "extension_passes", "fig18_multi",
+            "fleet_transfer",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -257,6 +258,31 @@ class TestExtensions:
         assert len(result.rows) == 2
         one_pass, two_pass = result.rows
         assert two_pass[2] >= one_pass[2]  # probes grow with passes
+
+
+class TestFleetTransfer:
+    def test_quick_transfer_study(self):
+        result = run_experiment(
+            "fleet_transfer",
+            replicas=2,
+            probe_shots=16,
+            stagger_hours=6.0,
+        )
+        assert len(result.rows) == 2
+        replica0, replica1 = result.rows
+        # Replica 0 is the compile replica: its own winner trivially
+        # survives at zero divergence and zero transfer cost.
+        assert replica0[0] == "replica-0"
+        assert replica0[2] == pytest.approx(0.0)  # divergence
+        assert replica0[3] == "yes"
+        assert replica0[7] == pytest.approx(0.0)  # delta
+        # Replica 1 drifted independently: divergence is strictly
+        # positive and both scored sequences are valid distributions.
+        assert replica1[2] > 0.0
+        assert 0.0 <= replica1[5] <= 1.0  # sr_transfer
+        assert 0.0 <= replica1[6] <= 1.0  # sr_local
+        assert "survived" in result.summary
+        assert len(result.series["sr_transfer"]) == 2
 
 
 class TestDeviceReport:
