@@ -58,6 +58,11 @@ def _make_context(args: argparse.Namespace) -> ExperimentContext:
         fault_profile=getattr(args, "fault_profile", "none"),
         fault_seed=getattr(args, "fault_seed", 0),
         sim_cache=not getattr(args, "no_sim_cache", False),
+        batched_sim=not getattr(args, "no_batched_sim", False),
+        clifford_fast_path=(
+            getattr(args, "clifford_fast_path", False)
+            and not getattr(args, "no_clifford_fast_path", False)
+        ),
         parallel=getattr(args, "parallel", False),
         max_workers=getattr(args, "max_workers", None),
         trace=getattr(args, "trace", None),
@@ -117,6 +122,26 @@ def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the simulation cache hierarchy (prefix-state and "
         "distribution memoization) for A/B runs against the uncached path",
+    )
+    parser.add_argument(
+        "--no-batched-sim",
+        action="store_true",
+        help="disable the batched candidate-simulation engine "
+        "(shared-suffix stacked contractions) for A/B runs against "
+        "the one-at-a-time path",
+    )
+    parser.add_argument(
+        "--clifford-fast-path",
+        action="store_true",
+        help="route pure-Clifford probes through the stabilizer "
+        "simulator with a perturbative noise treatment (counts are "
+        "differential-test-bounded, not bit-identical)",
+    )
+    parser.add_argument(
+        "--no-clifford-fast-path",
+        action="store_true",
+        help="force the dense engine even when --clifford-fast-path "
+        "is set (A/B bisection flag)",
     )
     parser.add_argument(
         "--parallel",
@@ -384,6 +409,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         fault_profile=args.fault_profile,
         fault_seed=args.fault_seed,
+        batched_sim=not args.no_batched_sim,
+        clifford_fast_path=(
+            args.clifford_fast_path and not args.no_clifford_fast_path
+        ),
     )
     workload = {
         f"tenant-{index}": [

@@ -192,6 +192,8 @@ def build_device(
     crosstalk_zz: float = 0.0,
     channel_cache: bool = True,
     sim_cache: bool = True,
+    batched_sim: bool = True,
+    clifford_fast_path: bool = False,
 ) -> RigettiAspenDevice:
     """Sample a full device from *profile* on the given topology.
 
@@ -224,6 +226,8 @@ def build_device(
         crosstalk_zz=crosstalk_zz,
         channel_cache=channel_cache,
         sim_cache=sim_cache,
+        batched_sim=batched_sim,
+        clifford_fast_path=clifford_fast_path,
     )
 
 
@@ -233,6 +237,8 @@ def aspen11(
     idle_noise: bool = False,
     crosstalk_zz: float = 0.0,
     sim_cache: bool = True,
+    batched_sim: bool = True,
+    clifford_fast_path: bool = False,
 ) -> RigettiAspenDevice:
     """A 38-qubit Aspen-11-like device (one row of five octagons).
 
@@ -252,6 +258,8 @@ def aspen11(
         idle_noise=idle_noise,
         crosstalk_zz=crosstalk_zz,
         sim_cache=sim_cache,
+        batched_sim=batched_sim,
+        clifford_fast_path=clifford_fast_path,
     )
 
 
@@ -261,6 +269,8 @@ def aspen_m1(
     idle_noise: bool = False,
     crosstalk_zz: float = 0.0,
     sim_cache: bool = True,
+    batched_sim: bool = True,
+    clifford_fast_path: bool = False,
 ) -> RigettiAspenDevice:
     """An 80-qubit Aspen-M-1-like device (two rows of five octagons).
 
@@ -280,6 +290,8 @@ def aspen_m1(
         idle_noise=idle_noise,
         crosstalk_zz=crosstalk_zz,
         sim_cache=sim_cache,
+        batched_sim=batched_sim,
+        clifford_fast_path=clifford_fast_path,
     )
 
 
@@ -289,6 +301,8 @@ def small_test_device(
     profile: NoiseProfile = DEFAULT_PROFILE,
     channel_cache: bool = True,
     sim_cache: bool = True,
+    batched_sim: bool = True,
+    clifford_fast_path: bool = False,
 ) -> RigettiAspenDevice:
     """A linear-chain device for unit tests and quick examples."""
     # Force all three gates available on every link so tests are stable.
@@ -304,4 +318,6 @@ def small_test_device(
         profile=forced,
         channel_cache=channel_cache,
         sim_cache=sim_cache,
+        batched_sim=batched_sim,
+        clifford_fast_path=clifford_fast_path,
     )

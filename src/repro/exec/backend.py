@@ -313,9 +313,9 @@ class LocalBackend:
         epoch-delta synchronization contract.
         """
         if max_workers is not None and max_workers < 2:
-            return [
-                self.device.noisy_distribution(job.circuit) for job in jobs
-            ]
+            return self.device.noisy_distribution_batch(
+                [job.circuit for job in jobs]
+            )
         try:
             pool = self._ensure_pool(max_workers)
             distributions, info = pool.run([job.circuit for job in jobs])
@@ -335,9 +335,9 @@ class LocalBackend:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-            return [
-                self.device.noisy_distribution(job.circuit) for job in jobs
-            ]
+            return self.device.noisy_distribution_batch(
+                [job.circuit for job in jobs]
+            )
         self._affinity_hits += info.affinity_hits
         self._ship_bytes += info.ship_bytes
         for key, value in info.cache_deltas.items():
@@ -372,6 +372,12 @@ class LocalBackend:
         sim = getattr(self.device, "sim_cache", None)
         if sim is not None:
             stats.update(sim.stats())
+        stats["clifford_fast_hits"] = getattr(
+            self.device, "clifford_fast_hits", 0
+        )
+        stats["clifford_fallbacks"] = getattr(
+            self.device, "clifford_fallbacks", 0
+        )
         for key, value in self._worker_cache_totals.items():
             stats[key] = stats.get(key, 0) + value
         pool = self.pool

@@ -117,6 +117,29 @@ class Histogram:
                     return
             self.bucket_counts[-1] += 1
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` observations of ``value`` in one update.
+
+        Used when one measured region amortizes over many units of work
+        (a grouped batch collapsing many candidates into one
+        contraction): the per-unit value lands ``count`` times, so
+        percentiles stay comparable with the one-span-per-unit shape.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self.count += count
+            self.total += value * count
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[index] += count
+                    return
+            self.bucket_counts[-1] += count
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

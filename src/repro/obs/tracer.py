@@ -321,9 +321,16 @@ class Tracer:
                 self.sink.write_span(span)
         if self.registry is not None:
             self.registry.counter(f"span.{span.name}").add(1)
-            self.registry.histogram(f"span.{span.name}.wall_s").observe(
-                span.wall_time_s
-            )
+            histogram = self.registry.histogram(f"span.{span.name}.wall_s")
+            units = span.attributes.get("units")
+            if isinstance(units, int) and units > 1:
+                # A grouped batch collapses many candidates into one
+                # span (batched contraction); record the amortized
+                # per-unit wall time once per unit so percentiles stay
+                # comparable across engine modes.
+                histogram.observe_many(span.wall_time_s / units, units)
+            else:
+                histogram.observe(span.wall_time_s)
 
     # ------------------------------------------------------------------
     def flush(self) -> None:

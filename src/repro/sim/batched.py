@@ -1,0 +1,281 @@
+"""Batched multi-candidate density-matrix evolution.
+
+ANGEL's localized search evaluates ``1 + 2L`` CopyCat candidates per
+pass, and the candidates of one link batch differ from each other only
+at that link's sites: everything *before* the replaced link is a shared
+prefix and everything *after* it is a shared suffix. The prefix is
+already deduplicated by :class:`~repro.sim.sim_cache.PrefixStateCache`
+snapshots; the suffix was still contracted once per candidate. This
+module removes that redundancy by stacking the candidates' states on a
+leading *candidate axis* and contracting each shared-suffix
+superoperator against all of them in a single ``tensordot``.
+
+Two pieces:
+
+* :class:`BatchedDensityMatrix` — K mixed states as one rank-``2n+1``
+  tensor ``(K, 2, ..., 2)``. Its ``_apply_left`` is the candidate-axis
+  extension of :meth:`DensityMatrix._apply_left`: the same contraction
+  with every state axis shifted by one. ``tensordot`` lowers both forms
+  to the same per-column GEMM, so each candidate's slice is
+  bit-identical to the unbatched application (pinned by
+  ``tests/test_batched_sim.py``).
+* :func:`plan_batches` — given a batch of lowered streams, decide which
+  candidates to stack. Streams are sorted so that suffix-sharing
+  candidates become neighbours, then a dynamic program partitions the
+  order into clusters minimizing estimated contraction cost: a cluster
+  pays its common prefix once, each member's middle individually, and
+  its common suffix once at a small per-extra-candidate increment.
+
+The split of one cluster into (shared prefix stream, per-candidate
+middle ops, shared suffix stream) is computed directly on
+:class:`~repro.sim.circuit_compiler.LoweredCircuit` streams: prefix
+equality via the rolling ``prefix_hashes`` chain, suffix equality via
+``(fingerprint, qubits)`` of the fused operators from the end — within
+one placement and drift epoch, equal fingerprints denote equal
+superoperators by the compiler's content-addressing contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .channels import Superoperator
+from .circuit_compiler import LoweredCircuit, LoweredOp
+
+__all__ = ["BatchedDensityMatrix", "BatchPlan", "plan_batches"]
+
+#: Estimated marginal cost of one extra stacked candidate in a batched
+#: contraction, as a fraction of a standalone contraction. Contractions
+#: on probe-sized states are numpy-overhead-dominated, so stacking K
+#: candidates costs nowhere near K individual applications.
+_EXTRA_CANDIDATE_COST = 0.35
+#: Don't bother stacking for suffixes shorter than this.
+_MIN_SHARED_SUFFIX = 2
+#: Widest register for which stacking pays. Contractions on states up
+#: to this many qubits are numpy-overhead-dominated, where a stacked
+#: tensordot costs ~0.35 per extra candidate; from ~7 qubits up
+#: (>= 2 MB per state) they are memory-bandwidth-bound, a stacked
+#: contraction moves K times the data of a single one, and stacking
+#: measures as a slight net loss — so wider runs stay sequential
+#: (the planner's never-regress guarantee).
+_MAX_STACK_QUBITS = 6
+
+
+class BatchedDensityMatrix:
+    """K mixed states stacked on a leading candidate axis.
+
+    The tensor has shape ``(K,) + (2,) * (2 * num_qubits)``; slice ``k``
+    is exactly the rank-``2n`` state tensor of candidate ``k`` as
+    :class:`~repro.sim.density_matrix.DensityMatrix` holds it.
+    """
+
+    def __init__(self, num_qubits: int, tensors: Sequence[np.ndarray]) -> None:
+        if not tensors:
+            raise SimulationError("batched state needs at least one candidate")
+        expected = (2,) * (2 * num_qubits)
+        for tensor in tensors:
+            if tensor.shape != expected:
+                raise SimulationError(
+                    f"candidate tensor shape {tensor.shape} does not match "
+                    f"{num_qubits}-qubit state"
+                )
+        self.num_qubits = num_qubits
+        self._tensor = np.stack(
+            [np.asarray(t, dtype=complex) for t in tensors]
+        )
+
+    @property
+    def count(self) -> int:
+        return int(self._tensor.shape[0])
+
+    def tensor(self, candidate: int) -> np.ndarray:
+        """Candidate *candidate*'s state tensor (a copy, cache-safe)."""
+        return self._tensor[candidate].copy()
+
+    def _apply_left(self, matrix: np.ndarray, axes: Tuple[int, ...]) -> None:
+        """Contract *matrix* against the given *state* axes of every
+        candidate at once (axes are in unbatched 0-based convention)."""
+        k = len(axes)
+        op = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+        shifted = [a + 1 for a in axes]
+        contracted = np.tensordot(
+            op, self._tensor, axes=(list(range(k, 2 * k)), shifted)
+        )
+        # Restore axis order; the candidate axis rides along in "others"
+        # exactly like any untouched state axis.
+        total_axes = 1 + 2 * self.num_qubits
+        others = [a for a in range(total_axes) if a not in shifted]
+        current = np.array(shifted + others)
+        self._tensor = np.transpose(contracted, np.argsort(current))
+
+    def apply_superoperator(
+        self, superop: Superoperator, qubits: Tuple[int, ...]
+    ) -> None:
+        """Apply one vectorized channel to all candidates in one
+        contraction (same axis convention as the unbatched state)."""
+        if superop.num_qubits != len(qubits):
+            raise SimulationError(
+                f"superoperator acts on {superop.num_qubits} qubits, "
+                f"given {len(qubits)}"
+            )
+        axes = tuple(qubits) + tuple(q + self.num_qubits for q in qubits)
+        self._apply_left(superop.matrix, axes)
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """One cluster of candidates to evolve together.
+
+    Attributes:
+        indices: Positions (into the planner's input list) of the
+            cluster's members, in input order.
+        prefix_len: Fused operators shared by every member from the
+            start — contracted once on a plain state.
+        suffix_len: Fused operators shared by every member at the end —
+            contracted once on the stacked state.
+    """
+
+    indices: Tuple[int, ...]
+    prefix_len: int
+    suffix_len: int
+
+
+def _op_key(op: LoweredOp) -> Tuple:
+    return (op.qubits, op.fingerprint)
+
+
+def _common_prefix_len(members: Sequence[LoweredCircuit]) -> int:
+    """Shared-prefix length via the rolling hash chain (equal hashes at
+    position i imply equal operator streams through i)."""
+    length = min(len(m.operations) for m in members)
+    base = members[0].prefix_hashes
+    for index in range(length):
+        key = base[index]
+        if any(m.prefix_hashes[index] != key for m in members[1:]):
+            return index
+    return length
+
+
+def _common_suffix_len(
+    members: Sequence[LoweredCircuit], limit: int
+) -> int:
+    """Shared-suffix length by operator content, capped at *limit*."""
+    length = min(len(m.operations) for m in members)
+    depth = 0
+    base_ops = members[0].operations
+    while depth < min(length, limit):
+        key = _op_key(base_ops[len(base_ops) - 1 - depth])
+        if any(
+            _op_key(m.operations[len(m.operations) - 1 - depth]) != key
+            for m in members[1:]
+        ):
+            break
+        depth += 1
+    return depth
+
+
+def _cluster_geometry(
+    members: Sequence[LoweredCircuit],
+) -> Tuple[int, int]:
+    """(prefix_len, suffix_len) for a candidate cluster, non-overlapping."""
+    prefix = _common_prefix_len(members)
+    shortest = min(len(m.operations) for m in members)
+    suffix = _common_suffix_len(members, shortest - prefix)
+    return prefix, suffix
+
+
+def _cluster_cost(members: Sequence[LoweredCircuit]) -> float:
+    """Estimated contraction cost of evolving *members* as one cluster."""
+    prefix, suffix = _cluster_geometry(members)
+    middles = sum(
+        len(m.operations) - prefix - suffix for m in members
+    )
+    extra = _EXTRA_CANDIDATE_COST * (len(members) - 1)
+    return prefix + middles + suffix * (1.0 + extra)
+
+
+def plan_batches(lowered: Sequence[LoweredCircuit]) -> List[BatchPlan]:
+    """Partition a batch of lowered streams into evolution clusters.
+
+    Streams are ordered by their *reversed* operator content so that
+    candidates sharing a long suffix become neighbours (the candidates
+    of one link batch, which differ only at the replaced link's sites,
+    sort adjacent). A dynamic program then chooses cluster boundaries
+    along that order to minimize total estimated contraction cost —
+    clusters whose shared suffix is too short to pay for stacking stay
+    singletons, so the plan never regresses below one-at-a-time cost.
+    """
+    if not lowered:
+        return []
+    order = sorted(
+        range(len(lowered)),
+        key=lambda i: (
+            lowered[i].num_qubits,
+            tuple(
+                repr(_op_key(op))
+                for op in reversed(lowered[i].operations)
+            ),
+        ),
+    )
+    plans: List[BatchPlan] = []
+    # Group maximal runs of equal register width; clusters never mix widths.
+    start = 0
+    while start < len(order):
+        end = start
+        width = lowered[order[start]].num_qubits
+        while end < len(order) and lowered[order[end]].num_qubits == width:
+            end += 1
+        if width > _MAX_STACK_QUBITS:
+            # Bandwidth-bound regime: stacking cannot win, keep the run
+            # sequential (prefix snapshots still dedup shared work).
+            plans.extend(
+                BatchPlan(indices=(i,), prefix_len=0, suffix_len=0)
+                for i in sorted(order[start:end])
+            )
+        else:
+            plans.extend(_plan_run(lowered, order[start:end]))
+        start = end
+    return plans
+
+
+def _plan_run(
+    lowered: Sequence[LoweredCircuit], order: Sequence[int]
+) -> List[BatchPlan]:
+    """Optimal consecutive partition of one equal-width run (DP)."""
+    count = len(order)
+    best = [0.0] * (count + 1)
+    cut = [0] * (count + 1)
+    for end in range(1, count + 1):
+        best[end] = float("inf")
+        for begin in range(end - 1, -1, -1):
+            members = [lowered[i] for i in order[begin:end]]
+            if len(members) > 1:
+                _, suffix = _cluster_geometry(members)
+                if suffix < _MIN_SHARED_SUFFIX:
+                    # The shared suffix only shrinks as the window
+                    # widens, so no earlier begin is viable either.
+                    break
+            cost = best[begin] + _cluster_cost(members)
+            if cost < best[end]:
+                best[end] = cost
+                cut[end] = begin
+    plans: List[BatchPlan] = []
+    end = count
+    while end > 0:
+        begin = cut[end]
+        members = [lowered[i] for i in order[begin:end]]
+        prefix, suffix = _cluster_geometry(members)
+        plans.append(
+            BatchPlan(
+                indices=tuple(sorted(order[begin:end])),
+                prefix_len=prefix,
+                suffix_len=suffix if len(members) > 1 else 0,
+            )
+        )
+        end = begin
+    plans.reverse()
+    return plans

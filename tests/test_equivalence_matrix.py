@@ -52,8 +52,15 @@ def _pools_available() -> bool:
 _POOLS = _pools_available()
 
 
-def _device(sim_cache: bool):
-    return aspen11(seed=17, sim_cache=sim_cache)
+def _device(
+    sim_cache: bool, batched: bool = True, clifford: bool = False
+):
+    return aspen11(
+        seed=17,
+        sim_cache=sim_cache,
+        batched_sim=batched,
+        clifford_fast_path=clifford,
+    )
 
 
 def _probe_jobs(device):
@@ -78,10 +85,16 @@ def _probe_jobs(device):
     return jobs
 
 
-def _run_combo(sim_cache: bool, workers: int, backend_kind: str):
+def _run_combo(
+    sim_cache: bool,
+    workers: int,
+    backend_kind: str,
+    batched: bool = True,
+    clifford: bool = False,
+):
     """Counts from the two probe batches under one configuration, with
     an identical mid-batch drift boundary between them."""
-    device = _device(sim_cache)
+    device = _device(sim_cache, batched=batched, clifford=clifford)
     if backend_kind == "local":
         backend = LocalBackend(device)
     else:
@@ -98,6 +111,14 @@ def _run_combo(sim_cache: bool, workers: int, backend_kind: str):
         # same simulated-time epoch at the same point in the workload.
         device.advance_time(2.0 * _HOUR_US)
         second = executor.submit_batch(jobs[half:])
+        if clifford and workers == 1 and backend_kind == "local":
+            # Under the default noise profile the coherent-error budget
+            # always exceeds the fast path's exactness threshold, so
+            # every probe must fall back to the dense engine — that is
+            # what makes this combination bit-identical, not merely
+            # statistically close.
+            assert device.clifford_fast_hits == 0
+            assert device.clifford_fallbacks > 0
     finally:
         close = getattr(backend, "close", None)
         if close is not None:
@@ -136,6 +157,32 @@ _MATRIX = [
 ]
 
 
+_ENGINE_MATRIX = [
+    pytest.param(
+        batched,
+        clifford,
+        workers,
+        sim_cache,
+        id=f"batched_{'on' if batched else 'off'}-"
+        f"clifford_{'on' if clifford else 'off'}-"
+        f"workers_{workers}-cache_{'on' if sim_cache else 'off'}",
+        marks=(
+            []
+            if workers == 1 or _POOLS
+            else [
+                pytest.mark.skip(
+                    reason="process pools unavailable in this environment"
+                )
+            ]
+        ),
+    )
+    for batched in (True, False)
+    for clifford in (True, False)
+    for workers in (1, 4)
+    for sim_cache in (True, False)
+]
+
+
 @pytest.fixture(scope="module")
 def reference_counts():
     """The 1-worker in-process, cache-on, local-backend baseline."""
@@ -153,6 +200,34 @@ def test_counts_bit_identical_across_matrix(
         assert got == want, (
             f"{job_id}: counts diverged under sim_cache={sim_cache}, "
             f"workers={workers}, backend={backend_kind}"
+        )
+
+
+@pytest.mark.parametrize(
+    "batched,clifford,workers,sim_cache", _ENGINE_MATRIX
+)
+def test_counts_bit_identical_across_engine_matrix(
+    batched, clifford, workers, sim_cache, reference_counts
+):
+    """{batched on/off} x {clifford on/off} x {1/4 workers} x
+    {sim cache on/off}: same counts, including the mid-batch drift
+    boundary. The clifford axis stays bit-identical because the default
+    profile's coherent errors force the dense fallback on every probe
+    (asserted inside ``_run_combo``)."""
+    counts = _run_combo(
+        sim_cache,
+        workers,
+        "local",
+        batched=batched,
+        clifford=clifford,
+    )
+    assert len(counts) == len(reference_counts)
+    for (job_id, got), (ref_id, want) in zip(counts, reference_counts):
+        assert job_id == ref_id
+        assert got == want, (
+            f"{job_id}: counts diverged under batched={batched}, "
+            f"clifford={clifford}, workers={workers}, "
+            f"sim_cache={sim_cache}"
         )
 
 
