@@ -26,7 +26,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .circuit import QuantumCircuit, from_qasm, to_qasm
-from .compiler import transpile
+from .compiler import OPTIMIZATION_LEVELS
 from .core import Angel, AngelConfig, NativeGateSequence
 from .device.native_gates import NATIVE_TWO_QUBIT_GATES
 from .exceptions import ReproError
@@ -67,6 +67,11 @@ def _make_context(args: argparse.Namespace) -> ExperimentContext:
         max_workers=getattr(args, "max_workers", None),
         trace=getattr(args, "trace", None),
         metrics=getattr(args, "metrics", False),
+        optimization_level=(
+            0
+            if getattr(args, "no_opt_passes", False)
+            else getattr(args, "opt_level", 0)
+        ),
     )
 
 
@@ -155,6 +160,21 @@ def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker-pool size for --parallel (default: auto; 1 forces "
         "the in-process snapshot path)",
+    )
+    parser.add_argument(
+        "--opt-level",
+        type=int,
+        default=0,
+        choices=OPTIMIZATION_LEVELS,
+        help="pre-routing circuit optimization level (0 = off, the "
+        "bit-identical default; 1 = cancellation/merging/fusion; "
+        "2 = level 1 plus two-qubit rewrites and native cleanup)",
+    )
+    parser.add_argument(
+        "--no-opt-passes",
+        action="store_true",
+        help="force optimization level 0 regardless of --opt-level "
+        "(A/B bisection flag)",
     )
     parser.add_argument(
         "--trace",
@@ -316,7 +336,7 @@ def _run_compile(
     context: ExperimentContext, args: argparse.Namespace
 ) -> int:
     program = _load_program(args.program)
-    compiled = transpile(program, context.device, context.calibration)
+    compiled = context.transpile(program)
     ideal = compiled.ideal_distribution()
     print(
         f"{program.name}: {compiled.num_cnot_sites} CNOT sites on "
@@ -413,6 +433,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         clifford_fast_path=(
             args.clifford_fast_path and not args.no_clifford_fast_path
         ),
+        opt_level=(0 if args.no_opt_passes else args.opt_level),
     )
     workload = {
         f"tenant-{index}": [

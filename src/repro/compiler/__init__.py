@@ -13,11 +13,31 @@ from .nativization import (
     nativize,
     single_qubit_native,
 )
+from .optimize import (
+    OPTIMIZATION_LEVELS,
+    CancelInversesPass,
+    Fuse1qRunsPass,
+    MergeRotationsPass,
+    OptimizationReport,
+    PassManager,
+    TwoQubitRewritePass,
+    cleanup_native_circuit,
+    optimize_circuit,
+)
 from .passes import CompiledProgram, transpile
 from .routing import RoutedCircuit, route_circuit
 from .scheduling import ScheduleReport, asap_schedule, schedule_report
 
 __all__ = [
+    "OPTIMIZATION_LEVELS",
+    "PassManager",
+    "OptimizationReport",
+    "CancelInversesPass",
+    "MergeRotationsPass",
+    "Fuse1qRunsPass",
+    "TwoQubitRewritePass",
+    "optimize_circuit",
+    "cleanup_native_circuit",
     "Layout",
     "trivial_layout",
     "noise_adaptive_layout",

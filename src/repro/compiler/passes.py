@@ -20,9 +20,15 @@ from ..device.calibration import CalibrationData
 from ..device.device import RigettiAspenDevice
 from ..device.topology import Link
 from ..exceptions import CompilationError
+from ..obs import runtime as obs
 from ..sim.statevector import StatevectorSimulator
 from .mapping import Layout, noise_adaptive_layout, trivial_layout
 from .nativization import CnotSite, extract_cnot_sites, nativize
+from .optimize import (
+    OptimizationReport,
+    cleanup_native_circuit,
+    optimize_circuit,
+)
 from .routing import RoutedCircuit, route_circuit
 from .scheduling import asap_schedule
 
@@ -40,6 +46,9 @@ class CompiledProgram:
             and CopyCat construction operate on this.
         sites: CNOT sites of the scheduled circuit, program order.
         device: The target device (used for gate availability checks).
+        optimization_level: The pre-routing optimization level the
+            program was compiled at (0 = untouched pipeline).
+        opt_report: What the optimization passes did, when they ran.
     """
 
     source: QuantumCircuit
@@ -47,6 +56,8 @@ class CompiledProgram:
     scheduled: QuantumCircuit
     sites: List[CnotSite]
     device: RigettiAspenDevice
+    optimization_level: int = 0
+    opt_report: Optional[OptimizationReport] = None
 
     @property
     def num_cnot_sites(self) -> int:
@@ -54,11 +65,14 @@ class CompiledProgram:
 
     def links_used(self) -> List[Link]:
         """Distinct links the program's CNOTs touch, program order."""
-        seen: List[Link] = []
+        ordered: List[Link] = []
+        seen: set = set()
         for site in self.sites:
-            if site.link not in seen:
-                seen.append(site.link)
-        return seen
+            link = site.link
+            if link not in seen:
+                seen.add(link)
+                ordered.append(link)
+        return ordered
 
     def gate_options(self) -> Dict[Link, Tuple[str, ...]]:
         """Native gates the device supports on each used link."""
@@ -80,12 +94,15 @@ class CompiledProgram:
         """Nativize under a site->gate map or a NativeGateSequence."""
         if hasattr(site_gates, "as_site_map"):
             site_gates = site_gates.as_site_map()
-        return nativize(
+        native = nativize(
             self.scheduled,
             site_gates,
             native_gates=self.device.native_gates,
             name_suffix=name_suffix,
         )
+        if self.optimization_level >= 2:
+            native = cleanup_native_circuit(native)
+        return native
 
     def ideal_distribution(self) -> Dict[str, float]:
         """Noise-free output distribution of the *logical* program.
@@ -101,6 +118,7 @@ def transpile(
     device: RigettiAspenDevice,
     calibration: Optional[CalibrationData] = None,
     layout: Optional[Layout] = None,
+    optimization_level: int = 0,
 ) -> CompiledProgram:
     """Map, route, and schedule *circuit* for *device*.
 
@@ -112,17 +130,48 @@ def transpile(
             (best-calibrated region and links); otherwise structural.
         layout: Overrides layout selection entirely (used by experiments
             that must pin programs to specific physical qubits).
+        optimization_level: Pre-routing optimization (0 = off, the
+            bit-identical default; 1 = cancellation/merging/fusion;
+            2 = level 1 plus two-qubit rewrites and native cleanup).
+            Runs *before* layout so the router sees — and the probe
+            budget pays for — only the links the optimized circuit
+            still needs.
 
     Returns:
         A :class:`CompiledProgram` awaiting native gate selection.
     """
+    opt_report: Optional[OptimizationReport] = None
+    if optimization_level:
+        tracer = obs.active_tracer()
+        span = (
+            tracer.span(
+                "opt.run",
+                program=circuit.name,
+                level=optimization_level,
+            )
+            if tracer
+            else obs.NULL_SPAN
+        )
+        with span:
+            circuit_to_route, opt_report = optimize_circuit(
+                circuit, optimization_level
+            )
+            if tracer:
+                span.set(
+                    gates_removed=opt_report.gates_removed,
+                    links_removed=opt_report.links_removed,
+                )
+    else:
+        circuit_to_route = circuit
     if layout is None:
         if calibration is not None:
-            layout = noise_adaptive_layout(circuit, device, calibration)
+            layout = noise_adaptive_layout(
+                circuit_to_route, device, calibration
+            )
         else:
-            layout = trivial_layout(circuit, device.topology)
+            layout = trivial_layout(circuit_to_route, device.topology)
     routed = route_circuit(
-        circuit, device.topology, layout, calibration=calibration
+        circuit_to_route, device.topology, layout, calibration=calibration
     )
     scheduled = asap_schedule(routed.circuit)
     sites = extract_cnot_sites(scheduled)
@@ -132,6 +181,8 @@ def transpile(
         scheduled=scheduled,
         sites=sites,
         device=device,
+        optimization_level=optimization_level,
+        opt_report=opt_report,
     )
     compiled.gate_options()  # fail fast if a used link supports nothing
     return compiled

@@ -24,6 +24,7 @@ import numpy as np
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.gates import Gate
 from ..compiler.nativization import nativize, single_qubit_native
+from ..compiler.optimize import cleanup_native_circuit
 from ..compiler.passes import CompiledProgram, transpile
 from ..device.calibration import CalibrationData
 from ..device.device import RigettiAspenDevice
@@ -341,9 +342,7 @@ class AngelProbePlan:
         if self._jobs is None:
             self._jobs = [
                 Job(
-                    self._nativizer.nativize(
-                        sequence, self.probes_run + offset
-                    ),
+                    self._probe_circuit(sequence, offset),
                     self._probe_shots,
                     seed=int(self._rng.integers(2**31)),
                     tag="probe",
@@ -351,6 +350,19 @@ class AngelProbePlan:
                 for offset, sequence in enumerate(self._batch.sequences)
             ]
         return list(self._jobs)
+
+    def _probe_circuit(
+        self, sequence: NativeGateSequence, offset: int
+    ) -> QuantumCircuit:
+        circuit = self._nativizer.nativize(
+            sequence, self.probes_run + offset
+        )
+        if self.compiled.optimization_level >= 2:
+            # Same native cleanup the final executable gets: probes
+            # shrink by the same rules, which is where the level-2
+            # compile wall-time win comes from.
+            circuit = cleanup_native_circuit(circuit)
+        return circuit
 
     def deliver(
         self, results: Sequence[Optional["JobResult"]]

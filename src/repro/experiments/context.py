@@ -69,6 +69,7 @@ class ExperimentContext:
     retry_policy: Optional[RetryPolicy] = None
     parallel: bool = False
     max_workers: Optional[int] = None
+    optimization_level: int = 0
     tracer: Optional[Tracer] = field(
         default=None, repr=False, compare=False
     )
@@ -110,6 +111,7 @@ class ExperimentContext:
         clifford_fast_path: bool = False,
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        optimization_level: int = 0,
         trace: Optional[str] = None,
         metrics: bool = False,
     ) -> "ExperimentContext":
@@ -151,6 +153,10 @@ class ExperimentContext:
                 worker pool (snapshot discipline) instead of running
                 them sequentially.
             max_workers: Pool size for parallel batches.
+            optimization_level: Pre-routing circuit optimization level
+                applied by :meth:`transpile` (0 = off, the
+                bit-identical default; see
+                :mod:`repro.compiler.optimize`).
             trace: Path to stream a JSONL span trace to; installs a
                 :class:`~repro.obs.Tracer` bound to the device clock for
                 the lifetime of the context (until :meth:`close`).
@@ -220,6 +226,7 @@ class ExperimentContext:
             retry_policy=retry_policy,
             parallel=parallel,
             max_workers=max_workers,
+            optimization_level=optimization_level,
             tracer=tracer,
             metrics_registry=registry,
             _obs_previous=previous,
@@ -228,6 +235,23 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     # Common measurement helpers
     # ------------------------------------------------------------------
+    def transpile(self, circuit, layout=None):
+        """Compile *circuit* for this context's device and calibration.
+
+        Applies the context's ``optimization_level``, so experiments and
+        the CLI pick up ``--opt-level`` without threading the knob
+        through every call site.
+        """
+        from ..compiler import transpile as _transpile
+
+        return _transpile(
+            circuit,
+            self.device,
+            self.calibration,
+            layout=layout,
+            optimization_level=self.optimization_level,
+        )
+
     def exact_success_rate(self, circuit, ideal) -> float:
         """Shot-noise-free SR of a native circuit (oracle view)."""
         return success_rate(ideal, self.device.noisy_distribution(circuit))

@@ -216,6 +216,10 @@ def main(argv: Optional[list] = None) -> int:
     fault_seed = int(_pop_option(argv, "--fault-seed", "0"))
     max_workers_raw = _pop_option(argv, "--max-workers", "")
     max_workers = int(max_workers_raw) if max_workers_raw else None
+    opt_level = int(_pop_option(argv, "--opt-level", "0"))
+    if "--no-opt-passes" in argv:
+        opt_level = 0
+        argv = [arg for arg in argv if arg != "--no-opt-passes"]
     fleet_raw = _pop_option(argv, "--fleet", "")
     tenants_raw = _pop_option(argv, "--tenants", "")
     if tenants_raw:
@@ -232,7 +236,8 @@ def main(argv: Optional[list] = None) -> int:
             "[--backend local|remote] [--fault-profile NAME] "
             "[--fault-seed N] [--no-sim-cache] [--no-batched-sim] "
             "[--clifford-fast-path] [--no-clifford-fast-path] "
-            "[--parallel] [--max-workers N] [--trace FILE] [--metrics] "
+            "[--parallel] [--max-workers N] [--opt-level {0,1,2}] "
+            "[--no-opt-passes] [--trace FILE] [--metrics] "
             "[--tenants N [--fleet M]] <experiment-id>..."
         )
         print("known experiments:", ", ".join(sorted(EXPERIMENTS)))
@@ -249,6 +254,7 @@ def main(argv: Optional[list] = None) -> int:
             or parallel
             or show_metrics
             or trace is not None
+            or opt_level != 0
         )
         context = (
             ExperimentContext.create(
@@ -262,6 +268,7 @@ def main(argv: Optional[list] = None) -> int:
                 max_workers=max_workers,
                 trace=trace,
                 metrics=show_metrics,
+                optimization_level=opt_level,
             )
             if needs_context
             else None

@@ -4,6 +4,7 @@ from .bernstein_vazirani import bernstein_vazirani, bv_n4
 from .extras import adder_n4, fredkin_n3, qft, qft_n3, w_state, w_state_n4
 from .ghz import ghz, ghz_n4, ghz_n5
 from .linear_solver import linear_solver_n3
+from .named import basis_trotter_n4, grover_n2, qec_en_n5, wstate_n4
 from .qaoa import qaoa_maxcut, qaoa_n5
 from .qec import qec_n4
 from .suite import BenchmarkSpec, benchmark_suite, get_benchmark
@@ -33,4 +34,8 @@ __all__ = [
     "qft_n3",
     "fredkin_n3",
     "adder_n4",
+    "wstate_n4",
+    "basis_trotter_n4",
+    "grover_n2",
+    "qec_en_n5",
 ]

@@ -20,6 +20,7 @@ from .linear_solver import linear_solver_n3
 from .qaoa import qaoa_n5
 from .qec import qec_n4
 from .extras import adder_n4, fredkin_n3, qft_n3, w_state_n4
+from .named import basis_trotter_n4, grover_n2, qec_en_n5, wstate_n4
 from .teleportation import teleport_n2
 from .toffoli import toffoli_n3
 from .vqe import vqe_n4
@@ -86,6 +87,18 @@ _EXTRAS: Tuple[BenchmarkSpec, ...] = (
     BenchmarkSpec("QFT_n3", "Quantum Fourier Transform", 3, 6, qft_n3),
     BenchmarkSpec("fredkin_n3", "Controlled-SWAP", 3, 8, fredkin_n3),
     BenchmarkSpec("adder_n4", "One-bit full adder", 4, 15, adder_n4),
+    # Named benchmarks (QASMBench-shaped generator output; the redundancy
+    # they carry is the optimization pipeline's target — programs/named.py).
+    BenchmarkSpec(
+        "wstate_n4", "W state on a padded register", 4, 15, wstate_n4
+    ),
+    BenchmarkSpec(
+        "basis_trotter_n4", "ZZ-chain Trotter steps", 4, 12, basis_trotter_n4
+    ),
+    BenchmarkSpec("grover_n2", "Grover search (one iteration)", 2, 2, grover_n2),
+    BenchmarkSpec(
+        "qec_en_n5", "Repetition-code encoder + syndrome", 5, 6, qec_en_n5
+    ),
 )
 
 def benchmark_suite(include_extras: bool = False) -> List[BenchmarkSpec]:

@@ -111,6 +111,11 @@ class RequestSpec:
     #: the spec as written; the fleet reference for a pinned request is
     #: ``run_standalone(fleet.spec.replicas[i].adjust(spec))``.
     replica: Optional[int] = None
+    #: Pre-routing optimization level (see :func:`repro.compiler.
+    #: transpile`). Part of the spec — the service and the standalone
+    #: reference transpile at the same level, so service-vs-standalone
+    #: bit-equivalence holds at every level.
+    opt_level: int = 0
 
 
 @dataclass(frozen=True)
@@ -262,7 +267,10 @@ class _Request:
                 executor=self.executor,
             )
             self.compiled = transpile(
-                circuit, self.context.device, self.context.calibration
+                circuit,
+                self.context.device,
+                self.context.calibration,
+                optimization_level=spec.opt_level,
             )
             self.plan = self.angel.plan(self.compiled, observe=True)
         except BaseException:

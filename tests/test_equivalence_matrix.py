@@ -23,6 +23,7 @@ from repro.compiler.nativization import nativize
 from repro.core.sequence import NativeGateSequence
 from repro.device.presets import aspen11
 from repro.exec import BatchExecutor, Job, LocalBackend
+from repro.metrics import success_rate_from_counts
 from repro.programs.ghz import ghz
 from repro.programs.qaoa import qaoa_n5
 from repro.service import (
@@ -236,3 +237,72 @@ def test_matrix_reference_is_deterministic(reference_counts):
     (guards the fixture against hidden global state)."""
     again = _run_combo(sim_cache=True, workers=1, backend_kind="local")
     assert again == reference_counts
+
+
+# ------------------------------------------------- optimization axis
+
+
+def _final_runs(optimization_level, explicit=True):
+    """(name, ideal, counts) per program at one optimization level."""
+    device = _device(sim_cache=True)
+    backend = LocalBackend(device)
+    executor = BatchExecutor(backend, mode="parallel", max_workers=1)
+    runs = []
+    seed = 9500
+    for program in (ghz(4), qaoa_n5()):
+        if explicit:
+            compiled = transpile(
+                program, device, optimization_level=optimization_level
+            )
+        else:
+            compiled = transpile(program, device)
+        sequence = NativeGateSequence.uniform(compiled.sites, "cz")
+        native = compiled.nativized(sequence)
+        result = executor.submit(
+            Job(native, 2048, seed=seed, tag="final")
+        )
+        runs.append(
+            (program.name, compiled.ideal_distribution(), result.counts)
+        )
+        seed += 1
+    return runs
+
+
+def _tv_distance(left_counts, right_counts):
+    left_total = sum(left_counts.values())
+    right_total = sum(right_counts.values())
+    keys = set(left_counts) | set(right_counts)
+    return 0.5 * sum(
+        abs(
+            left_counts.get(key, 0) / left_total
+            - right_counts.get(key, 0) / right_total
+        )
+        for key in keys
+    )
+
+
+def test_opt_level_zero_counts_bit_identical():
+    """``optimization_level=0`` IS today's pipeline: byte-for-byte the
+    same final counts as a transpile call that never mentions it."""
+    explicit = _final_runs(0, explicit=True)
+    implicit = _final_runs(0, explicit=False)
+    for (name, _, got), (ref_name, _, want) in zip(explicit, implicit):
+        assert name == ref_name
+        assert got == want
+
+
+def test_opt_level_two_tv_bounded_and_fidelity_holds():
+    """Level 2 may reshape the executable (native cleanup shortens
+    probes and finals) but must stay close in distribution and not
+    degrade success rate beyond sampling tolerance."""
+    base = _final_runs(0)
+    opt = _final_runs(2)
+    for (name, ideal, counts0), (_, _, counts2) in zip(base, opt):
+        tv = _tv_distance(counts0, counts2)
+        assert tv <= 0.15, f"{name}: level-2 TV {tv:.3f} out of budget"
+        sr0 = success_rate_from_counts(ideal, counts0)
+        sr2 = success_rate_from_counts(ideal, counts2)
+        assert sr2 >= sr0 - 0.05, (
+            f"{name}: level-2 success rate {sr2:.3f} fell below "
+            f"level-0 {sr0:.3f} beyond tolerance"
+        )

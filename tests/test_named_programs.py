@@ -1,0 +1,143 @@
+"""Named benchmark programs: round-trip, suite wiring, and the payoff.
+
+The four circuits in :mod:`repro.programs.named` reproduce generator
+redundancy (zero-angle multiplexer layers, zero-coefficient Trotter
+terms, check-and-restore parity pairs, Hadamard-sandwiched oracles).
+These tests pin three things: the circuits survive the QASM subset
+round-trip, the suite registry's Table-I-style figures match the
+builders, and the optimization pipeline actually collects the payoff
+each docstring promises — spectator qubits lose their links, Grover
+loses every CNOT site — without moving the ideal distribution.
+"""
+
+import pytest
+
+from repro.circuit.qasm import from_qasm, to_qasm
+from repro.compiler import transpile
+from repro.compiler.optimize import optimize_circuit
+from repro.device.presets import small_test_device
+from repro.programs import (
+    basis_trotter_n4,
+    grover_n2,
+    qec_en_n5,
+    wstate_n4,
+)
+from repro.programs.suite import benchmark_suite, get_benchmark
+from repro.sim.statevector import ideal_distribution
+
+NAMED = {
+    "wstate_n4": wstate_n4,
+    "basis_trotter_n4": basis_trotter_n4,
+    "grover_n2": grover_n2,
+    "qec_en_n5": qec_en_n5,
+}
+
+
+@pytest.mark.parametrize("name", sorted(NAMED))
+def test_qasm_round_trip(name):
+    """to_qasm/from_qasm preserves every instruction."""
+    original = NAMED[name]()
+    restored = from_qasm(to_qasm(original))
+    assert restored.num_qubits == original.num_qubits
+    assert len(restored) == len(original)
+    for ours, theirs in zip(original, restored):
+        assert ours.name == theirs.name
+        assert ours.qubits == theirs.qubits
+        assert ours.params == pytest.approx(theirs.params)
+
+
+@pytest.mark.parametrize("name", sorted(NAMED))
+def test_suite_registration_matches_builder(name):
+    spec = get_benchmark(name)
+    circuit = spec.build()
+    assert spec.builder is NAMED[name]
+    assert circuit.num_qubits == spec.qubits
+    assert circuit.cnot_count() == spec.logical_cnots
+    extras = {s.name for s in benchmark_suite(include_extras=True)}
+    assert name in extras
+    assert name not in {s.name for s in benchmark_suite()}
+
+
+def test_ideal_distributions():
+    """The documented semantics of each program, from the statevector."""
+    third = 1.0 / 3.0
+    wstate = ideal_distribution(wstate_n4())
+    assert set(wstate) == {"1000", "0100", "0010"}
+    for probability in wstate.values():
+        assert probability == pytest.approx(third)
+
+    grover = ideal_distribution(grover_n2())
+    assert grover == pytest.approx({"11": 1.0})
+
+    qec = ideal_distribution(qec_en_n5())
+    assert set(qec) == {"00000", "11100"}
+    for probability in qec.values():
+        assert probability == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize("name", sorted(NAMED))
+def test_optimization_preserves_ideal_distribution(name):
+    device = small_test_device()
+    program = NAMED[name]()
+    base = transpile(program, device, optimization_level=0)
+    opt = transpile(program, device, optimization_level=2)
+    left = base.ideal_distribution()
+    right = opt.ideal_distribution()
+    tv = 0.5 * sum(
+        abs(left.get(key, 0.0) - right.get(key, 0.0))
+        for key in set(left) | set(right)
+    )
+    assert tv == pytest.approx(0.0, abs=1e-9)
+
+
+def test_wstate_spectator_qubit_loses_its_links():
+    """All 8 Gray-code CNOTs onto the padded qubit are zero-angle
+    scaffolding; after optimization qubit 3 is two-qubit-inactive and
+    its routed links leave the 1 + 2L budget."""
+    program = wstate_n4()
+    assert sum(1 for g in program.gates() if 3 in g.qubits and g.name == "cnot") == 8
+    optimized, _ = optimize_circuit(program, 2)
+    for gate in optimized.gates():
+        if len(gate.qubits) == 2:
+            assert 3 not in gate.qubits
+    device = small_test_device()
+    base = transpile(program, device, optimization_level=0)
+    opt = transpile(program, device, optimization_level=2)
+    assert len(opt.links_used()) < len(base.links_used())
+
+
+def test_qec_en_verification_pair_is_removed():
+    program = qec_en_n5()
+    optimized, report = optimize_circuit(program, 2)
+    for gate in optimized.gates():
+        if len(gate.qubits) == 2:
+            assert 4 not in gate.qubits
+    assert report.gates_removed >= 2
+
+
+def test_grover_loses_every_cnot_site():
+    """Both H-sandwiched oracles fold to CZ: 2 sites -> 0, so the
+    probe plan collapses to the single reference probe."""
+    device = small_test_device()
+    base = transpile(grover_n2(), device, optimization_level=0)
+    opt = transpile(grover_n2(), device, optimization_level=2)
+    assert base.num_cnot_sites == 2
+    assert opt.num_cnot_sites == 0
+
+
+def test_basis_trotter_dead_term_drops_link():
+    """The zero-coefficient Z2 Z3 term's conjugating CNOTs vanish, so
+    qubit 3 keeps only 1q gates and sheds its link."""
+    device = small_test_device()
+    base = transpile(basis_trotter_n4(), device, optimization_level=0)
+    opt = transpile(basis_trotter_n4(), device, optimization_level=2)
+    assert opt.opt_report.gates_removed >= 4
+    assert len(opt.links_used()) < len(base.links_used())
+
+
+def test_builders_return_fresh_circuits():
+    first = wstate_n4()
+    second = wstate_n4()
+    assert first is not second
+    first.x(0)
+    assert len(second) == len(wstate_n4())
