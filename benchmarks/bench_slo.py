@@ -1,0 +1,269 @@
+"""Load/latency SLO benchmark over the multi-tenant compile service.
+
+Standalone script (no pytest-benchmark dependency) driving a seeded
+burst workload — 4 tenants x 6 requests across GHZ / BV / QAOA — through
+:class:`~repro.service.AngelService` via the :mod:`repro.loadgen`
+harness, then extracting SLOs from the collected spans:
+
+* **compile latency** — p50/p95/p99 on both clocks: host wall seconds
+  and simulated device microseconds (``svc.request`` span attributes);
+* **queue wait & jitter** — enqueue->first-grant percentiles measured
+  directly from the :class:`~repro.service.RequestHandle` timestamps,
+  plus the population stdev of host latency;
+* **throughput & coalescing** — completed requests per wall second and
+  scheduler-round shapes from the ``svc.coalesce`` spans;
+* **results unchanged** — every :class:`~repro.service.CompileOutcome`
+  is compared bit-for-bit against :func:`~repro.service.run_standalone`
+  on the same spec, and the *simulated-time* latency percentiles are
+  recomputed from the standalone references and pinned equal — the
+  reproducibility property the CI gate keys on;
+* **SLO verdict** — the workload's declared bounds evaluated by
+  :class:`~repro.loadgen.SloPolicy`; any violation fails ``--check``.
+
+Writes ``BENCH_slo.json`` in the repository root (merged into
+``BENCH_trajectory.json`` by ``collect_bench.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_slo.py [--smoke] [--check]
+
+``--smoke`` trims shot budgets for CI runners (still 4 tenants, still
+24 requests, still all three programs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.loadgen import (
+    ArrivalSpec,
+    LoadGenerator,
+    SloBound,
+    TenantLoad,
+    WorkloadSpec,
+)
+from repro.obs import percentile
+from repro.service import RequestSpec, run_standalone
+
+_PROGRAMS = ("GHZ_n4", "BV_n4", "QAOA_n5")
+
+
+def _build_workload(shots: int, probe_shots: int, workers: int):
+    return WorkloadSpec(
+        name="slo-burst",
+        seed=23,
+        base=RequestSpec(
+            program="GHZ_n4",
+            shots=shots,
+            probe_shots=probe_shots,
+            drift_hours=2.0,
+        ),
+        workers=workers,
+        tenants=tuple(
+            TenantLoad(
+                name=f"tenant-{index}",
+                arrival=ArrivalSpec(
+                    kind="burst",
+                    bursts=2,
+                    burst_size=3,
+                    spacing_s=0.01,
+                    gap_s=1.0,
+                ),
+                # Offset program cycles so tenants overlap but are not
+                # lockstep: dedup and coalescing both stay exercised.
+                programs=_PROGRAMS[index % len(_PROGRAMS):]
+                + _PROGRAMS[: index % len(_PROGRAMS)],
+            )
+            for index in range(4)
+        ),
+        slo=(
+            SloBound(metric="failed", max_value=0),
+            SloBound(metric="latency.host.p95_s", max_value=120.0),
+            SloBound(metric="latency.host.p99_s", max_value=180.0),
+            SloBound(metric="queue_wait.p95_s", max_value=120.0),
+            SloBound(metric="throughput_rps", min_value=0.02),
+            SloBound(metric="dedup.ratio", min_value=0.1),
+        ),
+    )
+
+
+def run(shots: int, probe_shots: int, workers: int):
+    workload = _build_workload(shots, probe_shots, workers)
+    generator = LoadGenerator(workload)
+    schedule = generator.schedule()
+    report = generator.run()
+    analysis = report.analyze()
+    verdict = report.verdict()
+
+    # Bit-equivalence audit + reproducible simulated-time percentiles:
+    # one standalone reference per distinct spec; the load-run device
+    # times must be (as a multiset) exactly the standalone ones.
+    references = {}
+    mismatches = 0
+    load_device_times = []
+    reference_device_times = []
+    for slots in report.outcomes.values():
+        for slot in slots:
+            if isinstance(slot, BaseException):
+                continue
+            if slot.spec not in references:
+                references[slot.spec] = run_standalone(slot.spec)
+            reference = references[slot.spec]
+            matches = (
+                slot.result.sequence == reference.result.sequence
+                and slot.result.trace == reference.result.trace
+                and slot.final_counts == reference.final_counts
+                and slot.device_time_us == reference.device_time_us
+            )
+            mismatches += 0 if matches else 1
+            load_device_times.append(slot.device_time_us)
+            reference_device_times.append(reference.device_time_us)
+    device_percentiles_reproducible = all(
+        percentile(load_device_times, q)
+        == percentile(reference_device_times, q)
+        for q in (50, 95, 99)
+    )
+
+    latency = analysis["latency"]
+    return {
+        "benchmark": "slo_load_harness",
+        "workload": (
+            f"{len(workload.tenants)} tenants x "
+            f"{len(schedule) // len(workload.tenants)} burst requests "
+            f"({'/'.join(_PROGRAMS)}) @ {shots} shots, "
+            f"{probe_shots} probe shots, {workers} service workers, "
+            f"seed {workload.seed}"
+        ),
+        "requests": len(schedule),
+        "failed": report.failed,
+        "rejected": report.rejected,
+        "wall_time_s": report.wall_time_s,
+        "throughput_rps": analysis["throughput_rps"],
+        "latency_host_s": {
+            "p50": latency["host"]["p50_s"],
+            "p95": latency["host"]["p95_s"],
+            "p99": latency["host"]["p99_s"],
+            "jitter": latency["host"]["jitter_s"],
+        },
+        "latency_device_us": {
+            "p50": latency["device"]["p50_us"],
+            "p95": latency["device"]["p95_us"],
+            "p99": latency["device"]["p99_us"],
+        },
+        "queue_wait_s": {
+            "p50": analysis["queue_wait"]["p50_s"],
+            "p95": analysis["queue_wait"]["p95_s"],
+            "p99": analysis["queue_wait"]["p99_s"],
+        },
+        "dedup_ratio": analysis["dedup"]["ratio"],
+        "coalescing_units_per_round": analysis["coalescing"][
+            "mean_units_per_round"
+        ],
+        "results_unchanged": mismatches == 0,
+        "device_percentiles_reproducible": device_percentiles_reproducible,
+        "slo": verdict.to_dict(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced shot budget for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless no request failed, every outcome and "
+        "simulated-time percentile is bit-identical to standalone, and "
+        "every declared SLO bound holds",
+    )
+    args = parser.parse_args(argv)
+
+    shots = 64 if args.smoke else 512
+    probe_shots = 16 if args.smoke else 128
+    workers = 2 if args.smoke else 4
+    report = run(shots, probe_shots, workers)
+
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_slo.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"workload   : {report['workload']}")
+    print(
+        f"requests   : {report['requests']} "
+        f"({report['failed']} failed, {report['rejected']} rejected) "
+        f"in {report['wall_time_s']:.2f}s = "
+        f"{report['throughput_rps']:.2f} req/s"
+    )
+    host = report["latency_host_s"]
+    device = report["latency_device_us"]
+    print(
+        f"latency    : host p50 {host['p50']:.3f}s / p95 "
+        f"{host['p95']:.3f}s / p99 {host['p99']:.3f}s "
+        f"(jitter {host['jitter']:.3f}s)"
+    )
+    print(
+        f"             device p50 {device['p50'] / 1e6:.4f}s / p95 "
+        f"{device['p95'] / 1e6:.4f}s / p99 {device['p99'] / 1e6:.4f}s "
+        f"simulated"
+    )
+    queue = report["queue_wait_s"]
+    print(
+        f"queue wait : p50 {queue['p50']:.3f}s, p95 {queue['p95']:.3f}s, "
+        f"p99 {queue['p99']:.3f}s"
+    )
+    print(
+        f"dedup      : {report['dedup_ratio']:.1%} replayed; "
+        f"{report['coalescing_units_per_round']:.2f} units/round "
+        f"coalesced"
+    )
+    print(f"unchanged  : {report['results_unchanged']}")
+    print(
+        f"device pcts: reproducible="
+        f"{report['device_percentiles_reproducible']}"
+    )
+    print(
+        f"slo        : "
+        f"{'PASS' if report['slo']['passed'] else 'FAIL'} "
+        f"({len(report['slo']['bounds'])} bounds)"
+    )
+    print(f"written    : {out_path}")
+
+    if args.check:
+        if report["failed"]:
+            print(
+                f"FAIL: {report['failed']} requests failed",
+                file=sys.stderr,
+            )
+            return 1
+        if not report["results_unchanged"]:
+            print(
+                "FAIL: load-driven outcomes differ from standalone runs",
+                file=sys.stderr,
+            )
+            return 1
+        if not report["device_percentiles_reproducible"]:
+            print(
+                "FAIL: simulated-time percentiles diverged from the "
+                "standalone references",
+                file=sys.stderr,
+            )
+            return 1
+        if not report["slo"]["passed"]:
+            for bound in report["slo"]["bounds"]:
+                if not bound["ok"]:
+                    print(
+                        f"FAIL: SLO bound violated: {bound}",
+                        file=sys.stderr,
+                    )
+            return 1
+        print("CHECK: load harness within acceptance bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

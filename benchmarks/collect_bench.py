@@ -54,6 +54,9 @@ HEADLINES = {
     "opt_scoreboard": (
         "mean_two_qubit_reduction", "higher", "mean 2q-gate reduction"
     ),
+    "slo_load_harness": (
+        "throughput_rps", "higher", "load-harness throughput (req/s)"
+    ),
 }
 
 #: Relative movement in the bad direction that raises a flag. Generous

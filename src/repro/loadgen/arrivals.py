@@ -1,0 +1,206 @@
+"""Seeded arrival processes for the load harness.
+
+An :class:`ArrivalSpec` names one arrival process and its parameters;
+:func:`arrival_offsets` expands it into the deterministic list of
+submission offsets (host seconds from the start of the run) that the
+:class:`~repro.loadgen.generator.LoadGenerator` drives. Four kinds:
+
+* ``poisson`` — open-loop Poisson: i.i.d. exponential inter-arrival
+  gaps at ``rate_rps``; the classic memoryless client population.
+* ``burst`` — deterministic burst trains: ``bursts`` groups of
+  ``burst_size`` back-to-back submissions ``spacing_s`` apart, with
+  ``gap_s`` between group starts (optionally jittered).
+* ``diurnal`` — a non-homogeneous Poisson ramp whose instantaneous rate
+  swings sinusoidally between ``base_rps`` and ``peak_rps`` over
+  ``period_s`` (a compressed day), sampled by thinning.
+* ``closed`` — closed-loop clients: ``clients`` concurrent clients each
+  issue ``requests_per_client`` requests *sequentially*, waiting for
+  the previous response plus an exponential think time (mean
+  ``think_s``) before the next. Closed-loop offsets depend on service
+  latency, so :func:`arrival_offsets` returns the *planned* offsets
+  (think times alone) and :func:`closed_loop_think_times` exposes the
+  per-client draws the generator actually sleeps on.
+
+Everything is a pure function of (spec, seed): the same pair always
+produces the same schedule, bit for bit — that determinism is what lets
+the SLO gate compare percentiles across CI runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalSpec",
+    "arrival_offsets",
+    "poisson_offsets",
+    "burst_offsets",
+    "diurnal_offsets",
+    "closed_loop_think_times",
+]
+
+ARRIVAL_KINDS = ("poisson", "burst", "diurnal", "closed")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One arrival process, fully parameterized and serializable.
+
+    Only the fields relevant to ``kind`` are read; the rest keep their
+    defaults so every spec round-trips through a flat dict (the config
+    format) without per-kind schemas.
+    """
+
+    kind: str = "poisson"
+    #: Open-loop kinds: total requests to generate.
+    requests: int = 8
+    #: ``poisson``: mean arrival rate, requests per second.
+    rate_rps: float = 4.0
+    #: ``burst``: groups, group size, intra-group spacing, group cadence.
+    bursts: int = 2
+    burst_size: int = 4
+    spacing_s: float = 0.01
+    gap_s: float = 1.0
+    #: ``burst``: uniform per-request jitter amplitude (0 = exact train).
+    jitter_s: float = 0.0
+    #: ``diurnal``: the rate swings between base and peak over a period.
+    base_rps: float = 1.0
+    peak_rps: float = 8.0
+    period_s: float = 60.0
+    #: ``closed``: concurrent clients, requests each, mean think time.
+    clients: int = 2
+    requests_per_client: int = 4
+    think_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ReproError(
+                f"unknown arrival kind {self.kind!r}; "
+                f"expected one of {ARRIVAL_KINDS}"
+            )
+        if self.kind in ("poisson", "diurnal") and self.requests < 1:
+            raise ReproError("arrival requests must be >= 1")
+        if self.kind == "poisson" and self.rate_rps <= 0:
+            raise ReproError("poisson rate_rps must be positive")
+        if self.kind == "burst":
+            if self.bursts < 1 or self.burst_size < 1:
+                raise ReproError("bursts and burst_size must be >= 1")
+            if self.spacing_s < 0 or self.gap_s < 0 or self.jitter_s < 0:
+                raise ReproError("burst timings must be non-negative")
+        if self.kind == "diurnal":
+            if self.base_rps <= 0 or self.peak_rps < self.base_rps:
+                raise ReproError(
+                    "diurnal needs 0 < base_rps <= peak_rps"
+                )
+            if self.period_s <= 0:
+                raise ReproError("diurnal period_s must be positive")
+        if self.kind == "closed":
+            if self.clients < 1 or self.requests_per_client < 1:
+                raise ReproError(
+                    "closed loop needs clients and requests_per_client "
+                    ">= 1"
+                )
+            if self.think_s < 0:
+                raise ReproError("think_s must be non-negative")
+
+    @property
+    def total_requests(self) -> int:
+        """Requests this process will submit over a full run."""
+        if self.kind == "burst":
+            return self.bursts * self.burst_size
+        if self.kind == "closed":
+            return self.clients * self.requests_per_client
+        return self.requests
+
+
+def poisson_offsets(spec: ArrivalSpec, seed: int) -> List[float]:
+    """Open-loop Poisson arrivals: cumulative exponential gaps."""
+    rng = np.random.default_rng([seed, 0x501])
+    gaps = rng.exponential(1.0 / spec.rate_rps, spec.requests)
+    return [float(offset) for offset in np.cumsum(gaps)]
+
+
+def burst_offsets(spec: ArrivalSpec, seed: int) -> List[float]:
+    """Burst trains: evenly spaced groups of back-to-back arrivals."""
+    rng = np.random.default_rng([seed, 0xB5]) if spec.jitter_s else None
+    offsets = []
+    for burst in range(spec.bursts):
+        start = burst * spec.gap_s
+        for position in range(spec.burst_size):
+            offset = start + position * spec.spacing_s
+            if rng is not None:
+                offset += float(rng.uniform(0.0, spec.jitter_s))
+            offsets.append(offset)
+    return sorted(offsets)
+
+
+def diurnal_offsets(spec: ArrivalSpec, seed: int) -> List[float]:
+    """Sinusoidal-rate Poisson arrivals via Lewis–Shedler thinning.
+
+    The instantaneous rate is ``base + (peak - base) * (1 - cos(2*pi*t
+    / period)) / 2`` — a trough at t=0 ramping to a peak mid-period —
+    and candidate arrivals at the peak rate are kept with probability
+    ``rate(t) / peak``.
+    """
+    rng = np.random.default_rng([seed, 0xD1])
+    swing = spec.peak_rps - spec.base_rps
+    offsets: List[float] = []
+    t = 0.0
+    while len(offsets) < spec.requests:
+        t += float(rng.exponential(1.0 / spec.peak_rps))
+        rate = spec.base_rps + swing * 0.5 * (
+            1.0 - math.cos(2.0 * math.pi * t / spec.period_s)
+        )
+        if rng.uniform() <= rate / spec.peak_rps:
+            offsets.append(t)
+    return offsets
+
+
+def closed_loop_think_times(
+    spec: ArrivalSpec, seed: int
+) -> List[List[float]]:
+    """Per-client think-time draws (seconds), ``clients`` lists of
+    ``requests_per_client`` entries. The first entry is the delay before
+    the client's *first* request, so staggered client start-up is part
+    of the seeded schedule."""
+    times = []
+    for client in range(spec.clients):
+        rng = np.random.default_rng([seed, 0xC1, client])
+        if spec.think_s == 0.0:
+            times.append([0.0] * spec.requests_per_client)
+        else:
+            times.append(
+                [
+                    float(value)
+                    for value in rng.exponential(
+                        spec.think_s, spec.requests_per_client
+                    )
+                ]
+            )
+    return times
+
+
+def arrival_offsets(spec: ArrivalSpec, seed: int) -> List[float]:
+    """The deterministic submission offsets for one arrival process.
+
+    For ``closed`` this is the *planned* schedule — cumulative think
+    times per client, interleaved in offset order — since real
+    closed-loop offsets additionally wait on each response.
+    """
+    if spec.kind == "poisson":
+        return poisson_offsets(spec, seed)
+    if spec.kind == "burst":
+        return burst_offsets(spec, seed)
+    if spec.kind == "diurnal":
+        return diurnal_offsets(spec, seed)
+    offsets = []
+    for think_times in closed_loop_think_times(spec, seed):
+        offsets.extend(np.cumsum(think_times))
+    return sorted(float(offset) for offset in offsets)

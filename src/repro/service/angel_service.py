@@ -61,7 +61,7 @@ from ..obs import runtime as obs
 from ..programs import get_benchmark
 from .dedup import ProbeDistributionStore
 from .scheduler import DeficitRoundRobin
-from .tenant import TenantConfig, TenantState
+from .tenant import AdmissionError, TenantConfig, TenantState
 
 __all__ = [
     "RequestSpec",
@@ -138,6 +138,13 @@ class CompileOutcome:
     #: Fleet replica index the request ran on (``None`` outside fleet
     #: mode) — lets audits pick the right standalone reference.
     fleet_replica: Optional[int] = None
+    #: Host seconds between the first scheduling grant and completion
+    #: (``latency_s`` minus ``queue_wait_s``, measured directly).
+    service_time_s: float = 0.0
+    #: Simulated device occupancy this request consumed (the executor's
+    #: cumulative job durations) — deterministic for a deterministic
+    #: spec, which makes simulated-time SLO percentiles reproducible.
+    device_time_us: float = 0.0
 
 
 class RequestHandle:
@@ -154,9 +161,45 @@ class RequestHandle:
         self._event = threading.Event()
         self._outcome: Optional[CompileOutcome] = None
         self._exception: Optional[BaseException] = None
+        # Lifecycle timestamps (host monotonic seconds), stamped by the
+        # service: enqueue at construction, the first scheduling grant,
+        # and completion. Queue wait and service time are measured
+        # directly from these — not inferred from span gaps.
+        self.submitted_at: float = time.monotonic()
+        self.scheduled_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Enqueue -> first scheduling grant (live until scheduled)."""
+        anchor = self.scheduled_at
+        if anchor is None:
+            anchor = (
+                self.completed_at
+                if self.completed_at is not None
+                else time.monotonic()
+            )
+        return anchor - self.submitted_at
+
+    @property
+    def service_time_s(self) -> float:
+        """First scheduling grant -> completion (0.0 until finished)."""
+        if self.completed_at is None or self.scheduled_at is None:
+            return 0.0
+        return self.completed_at - self.scheduled_at
+
+    @property
+    def latency_s(self) -> float:
+        """Enqueue -> completion (live while the request is in flight)."""
+        anchor = (
+            self.completed_at
+            if self.completed_at is not None
+            else time.monotonic()
+        )
+        return anchor - self.submitted_at
 
     def result(self, timeout: Optional[float] = None) -> CompileOutcome:
         if not self._event.wait(timeout):
@@ -325,6 +368,11 @@ class _Request:
     def probes_run(self) -> int:
         return self.plan.probes_run
 
+    @property
+    def device_time_us(self) -> float:
+        """Simulated device occupancy consumed so far (executor ledger)."""
+        return float(self.executor.stats.device_time_us)
+
     def _release_binding(self) -> None:
         if self.fleet is not None and self.binding is not None:
             self.fleet.release(self.binding)
@@ -358,6 +406,7 @@ def run_standalone(
             final_counts=request.outcome_counts or {},
             probes_run=request.probes_run,
             dedup_hits=request.dedup_hits,
+            device_time_us=request.device_time_us,
         )
     finally:
         request.close()
@@ -383,8 +432,6 @@ class _ServiceEntry:
         self.request_key = request_key
         self.request: Optional[_Request] = None
         self.error: Optional[BaseException] = None
-        self.submitted_at = time.monotonic()
-        self.first_step_at: Optional[float] = None
 
     @property
     def cost(self) -> int:
@@ -402,7 +449,9 @@ class _ServiceEntry:
         """Advance one unit on a pool thread; resolve handle on exit."""
         try:
             if self.request is None:
-                self.first_step_at = time.monotonic()
+                # The first scheduling grant: queue wait ends here, and
+                # the handle records the boundary directly.
+                self.handle.scheduled_at = time.monotonic()
                 self.request = _Request(
                     self.spec,
                     self.store,
@@ -413,11 +462,6 @@ class _ServiceEntry:
             self.request.step()
         except BaseException as exc:  # noqa: BLE001 - forwarded to handle
             self.error = exc
-
-    def queue_wait_s(self) -> float:
-        if self.first_step_at is None:
-            return time.monotonic() - self.submitted_at
-        return self.first_step_at - self.submitted_at
 
 
 class AngelService:
@@ -515,7 +559,11 @@ class AngelService:
             if self._closed:
                 raise ServiceError("service is closed")
             state = self._tenant_state(tenant)
-            state.admit()
+            try:
+                state.admit()
+            except AdmissionError as exc:
+                self._observe_reject(state, spec, exc)
+                raise
             handle = RequestHandle(state.name, spec)
             # Deterministic per-tenant key: replayable placements need
             # the same request to carry the same key across runs.
@@ -533,6 +581,28 @@ class AngelService:
             self._inflight += 1
             self._work.notify_all()
         return handle
+
+    def _observe_reject(
+        self,
+        tenant: TenantState,
+        spec: RequestSpec,
+        error: "AdmissionError",
+    ) -> None:
+        """A zero-duration ``svc.reject`` span per admission bounce, so
+        rejection rates are computable from the trace alone."""
+        tracer = obs.active_tracer()
+        if tracer:
+            with tracer.span(
+                "svc.reject",
+                tenant=tenant.name,
+                program=spec.program,
+            ) as span:
+                span.set(retry_after_s=error.retry_after_s)
+        registry = obs.active_registry()
+        if registry is not None:
+            registry.counter(
+                f"service.tenant.{tenant.name}.rejected"
+            ).add(1)
 
     # ------------------------------------------------------------------
     # Scheduler loop
@@ -587,13 +657,19 @@ class AngelService:
     def _complete(self, tenant: TenantState, entry: _ServiceEntry) -> None:
         """Resolve a finished/failed entry (service lock held)."""
         self._inflight -= 1
-        queue_wait = entry.queue_wait_s()
-        latency = time.monotonic() - entry.submitted_at
+        handle = entry.handle
+        handle.completed_at = time.monotonic()
+        queue_wait = handle.queue_wait_s
+        latency = handle.latency_s
+        service_time = handle.service_time_s
         tenant.queue_wait_s.append(queue_wait)
         tenant.latency_s.append(latency)
         request = entry.request
         probes = request.probes_run if request is not None else 0
         dedup_hits = request.dedup_hits if request is not None else 0
+        device_time_us = (
+            request.device_time_us if request is not None else 0.0
+        )
         replica = (
             request.binding.index
             if request is not None and request.binding is not None
@@ -607,7 +683,15 @@ class AngelService:
             tenant.probes += probes
             tenant.dedup_hits += dedup_hits
         self._observe_request(
-            tenant, entry, queue_wait, latency, probes, dedup_hits
+            tenant,
+            entry,
+            queue_wait,
+            latency,
+            probes,
+            dedup_hits,
+            service_time=service_time,
+            device_time_us=device_time_us,
+            replica=replica,
         )
         if request is not None:
             try:
@@ -615,10 +699,10 @@ class AngelService:
             except BaseException as exc:  # pragma: no cover - best effort
                 entry.error = entry.error or exc
         if failed:
-            entry.handle._resolve(exception=entry.error)
+            handle._resolve(exception=entry.error)
             return
         assert request is not None and request.result is not None
-        entry.handle._resolve(
+        handle._resolve(
             outcome=CompileOutcome(
                 spec=entry.spec,
                 tenant=tenant.name,
@@ -629,6 +713,8 @@ class AngelService:
                 queue_wait_s=queue_wait,
                 latency_s=latency,
                 fleet_replica=replica,
+                service_time_s=service_time,
+                device_time_us=device_time_us,
             )
         )
 
@@ -640,6 +726,9 @@ class AngelService:
         latency: float,
         probes: int,
         dedup_hits: int,
+        service_time: float = 0.0,
+        device_time_us: float = 0.0,
+        replica: Optional[int] = None,
     ) -> None:
         tracer = obs.active_tracer()
         if tracer:
@@ -655,10 +744,14 @@ class AngelService:
                 span.set(
                     queue_wait_s=round(queue_wait, 9),
                     latency_s=round(latency, 9),
+                    service_time_s=round(service_time, 9),
+                    device_time_us=device_time_us,
                     probes=probes,
                     dedup_hits=dedup_hits,
                     failed=entry.error is not None,
                 )
+                if replica is not None:
+                    span.set(replica=replica)
         registry = obs.active_registry()
         if registry is not None:
             prefix = f"service.tenant.{tenant.name}"

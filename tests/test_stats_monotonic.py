@@ -119,6 +119,73 @@ class TestMonotonicity:
         assert executor.stats.shots == 2 * 3 * 128
 
 
+class TestRequestHandleTimestamps:
+    """The service's queue-wait accounting is measured, not inferred:
+    every :class:`~repro.service.RequestHandle` carries monotonic-clock
+    stamps for enqueue (``submitted_at``), first scheduler grant
+    (``scheduled_at``), and completion (``completed_at``), and the
+    derived durations must be non-negative and mutually consistent."""
+
+    def test_timestamps_monotonic_and_durations_consistent(self):
+        from repro.service import AngelService, RequestSpec
+
+        spec = RequestSpec(
+            program="GHZ_n4", shots=32, probe_shots=8, drift_hours=0.5
+        )
+        service = AngelService(num_workers=2)
+        try:
+            handles = [
+                service.submit("default", spec),
+                service.submit(
+                    "default",
+                    spec.__class__(
+                        program="BV_n4",
+                        shots=32,
+                        probe_shots=8,
+                        drift_hours=0.5,
+                    ),
+                ),
+            ]
+            outcomes = [handle.result() for handle in handles]
+        finally:
+            service.close()
+        for handle, outcome in zip(handles, outcomes):
+            assert handle.scheduled_at is not None
+            assert handle.completed_at is not None
+            assert handle.submitted_at <= handle.scheduled_at
+            assert handle.scheduled_at <= handle.completed_at
+            assert handle.queue_wait_s >= 0.0
+            assert handle.service_time_s >= 0.0
+            assert handle.latency_s >= 0.0
+            assert (
+                handle.queue_wait_s + handle.service_time_s
+                == pytest.approx(handle.latency_s, abs=1e-6)
+            )
+            # The outcome carries the same ledger the spans report.
+            assert outcome.queue_wait_s == handle.queue_wait_s
+            assert outcome.latency_s == handle.latency_s
+            assert outcome.service_time_s == handle.service_time_s
+            assert outcome.device_time_us > 0.0
+
+    def test_live_handle_durations_are_non_negative(self):
+        """Before completion the derived durations must never go
+        negative (they fall back to the live clock)."""
+        from repro.service.angel_service import RequestHandle
+
+        handle = RequestHandle.__new__(RequestHandle)
+        handle.submitted_at = 100.0
+        handle.scheduled_at = None
+        handle.completed_at = None
+        assert handle.queue_wait_s >= 0.0
+        assert handle.service_time_s == 0.0
+        assert handle.latency_s >= 0.0
+        handle.scheduled_at = 101.5
+        handle.completed_at = 104.25
+        assert handle.queue_wait_s == pytest.approx(1.5)
+        assert handle.service_time_s == pytest.approx(2.75)
+        assert handle.latency_s == pytest.approx(4.25)
+
+
 class TestToTextRendering:
     def test_every_field_renders_exactly_once(self):
         """With pairwise-distinct sentinels, each field's rendered value
